@@ -1,0 +1,100 @@
+package pqs
+
+import (
+	"context"
+	"fmt"
+
+	"pqs/internal/diffusion"
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+)
+
+// LocalCluster runs n replicas in-process on a simulated network with
+// injectable faults. It is the recommended substrate for tests, examples
+// and experiments; the same Client code talks to it and to TCP replicas.
+type LocalCluster struct {
+	net    *transport.MemNetwork
+	reps   []*replica.Replica
+	gossip *diffusion.Group
+}
+
+// NewLocalCluster starts n correct in-process replicas. seed fixes the
+// simulated network's randomness.
+func NewLocalCluster(n int, seed int64) (*LocalCluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pqs: cluster size %d must be positive", n)
+	}
+	c := &LocalCluster{net: transport.NewMemNetwork(seed)}
+	for i := 0; i < n; i++ {
+		r := replica.New(quorum.ServerID(i))
+		c.reps = append(c.reps, r)
+		c.net.Register(quorum.ServerID(i), r)
+	}
+	return c, nil
+}
+
+// N returns the cluster size.
+func (c *LocalCluster) N() int { return len(c.reps) }
+
+// Transport returns the client-side transport for this cluster.
+func (c *LocalCluster) Transport() Transport { return c.net }
+
+// Crash simulates a crash of server id (calls fail until Recover).
+func (c *LocalCluster) Crash(id int) { c.net.Crash(quorum.ServerID(id)) }
+
+// Recover brings a crashed server back.
+func (c *LocalCluster) Recover(id int) { c.net.Recover(quorum.ServerID(id)) }
+
+// SetDropProb makes the simulated network lose each message with
+// probability p.
+func (c *LocalCluster) SetDropProb(p float64) { c.net.SetDropProb(p) }
+
+// MakeByzantine turns server id into a colluding forger: it fabricates the
+// given value with an overwhelming timestamp on reads and drops writes.
+// This is the adversary the dissemination and masking analyses defend
+// against. Passing it the same value for several servers makes them
+// colluders.
+func (c *LocalCluster) MakeByzantine(id int, forgedValue []byte) {
+	c.reps[id].SetBehavior(replica.Forger{
+		Value: forgedValue,
+		Stamp: ts.Stamp{Counter: 1 << 62, Writer: 0xFFFFFFFF},
+		Sig:   []byte("forged"),
+	})
+}
+
+// MakeCorrect restores server id to correct behavior.
+func (c *LocalCluster) MakeCorrect(id int) { c.reps[id].SetBehavior(replica.Correct{}) }
+
+// Replicas exposes the underlying replicas for advanced scenarios (custom
+// behaviors, direct store inspection, diffusion engines).
+func (c *LocalCluster) Replicas() []*replica.Replica { return c.reps }
+
+// EnableDiffusion attaches an epidemic anti-entropy engine to every replica
+// (Section 1.1's lazy update propagation). Each GossipRounds call then runs
+// synchronized push-pull rounds with the given fanout, spreading the latest
+// value-timestamp pairs to every server and driving the effective ε toward
+// zero for updates dispersed in time.
+func (c *LocalCluster) EnableDiffusion(fanout int, seed int64) error {
+	g, err := diffusion.NewGroup(c.reps, c.net, fanout, nil, seed)
+	if err != nil {
+		return err
+	}
+	c.gossip = g
+	return nil
+}
+
+// GossipRounds runs the given number of synchronized gossip rounds.
+// EnableDiffusion must have been called.
+func (c *LocalCluster) GossipRounds(ctx context.Context, rounds int) error {
+	if c.gossip == nil {
+		return fmt.Errorf("pqs: diffusion not enabled; call EnableDiffusion first")
+	}
+	for i := 0; i < rounds; i++ {
+		if err := c.gossip.Step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package pqs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestLocalClusterDiffusion(t *testing.T) {
+	// Small quorums (q=5 of n=25, exact ε ≈ 0.29) miss writes often; after
+	// a few gossip rounds no read can miss.
+	sys, err := New(Config{N: 25, Q: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewLocalCluster(25, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cluster.GossipRounds(ctx, 1); err == nil {
+		t.Fatal("GossipRounds before EnableDiffusion must fail")
+	}
+	if err := cluster.EnableDiffusion(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(ctx, "x", []byte("spread me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.GossipRounds(ctx, 6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r, err := client.Read(ctx, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Found || string(r.Value) != "spread me" {
+			t.Fatalf("read %d missed the diffused value: %+v", i, r)
+		}
+	}
+}
+
+func TestLocalClusterValidation(t *testing.T) {
+	if _, err := NewLocalCluster(0, 1); err == nil {
+		t.Error("zero-size cluster accepted")
+	}
+	cluster, err := NewLocalCluster(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cluster.Replicas()) != 3 {
+		t.Error("Replicas() size wrong")
+	}
+	// Byzantine toggling round-trips.
+	cluster.MakeByzantine(0, []byte("evil"))
+	cluster.MakeCorrect(0)
+	cluster.SetDropProb(0)
+}

@@ -1,0 +1,72 @@
+// Command pqs-calc computes the quality measures of a probabilistic quorum
+// system configuration: quorum size, load, fault tolerance, exact ε, the
+// paper's closed-form ε bound, and failure probabilities at chosen crash
+// rates.
+//
+// Usage:
+//
+//	pqs-calc -n 100 -eps 1e-3                      # ε-intersecting
+//	pqs-calc -n 100 -mode dissemination -b 10      # Byzantine, signed data
+//	pqs-calc -n 100 -mode masking -b 10            # Byzantine, any data
+//	pqs-calc -n 100 -q 23                          # explicit quorum size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"pqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pqs-calc:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 100, "number of servers")
+	modeStr := flag.String("mode", "benign", "failure model: benign, dissemination, masking")
+	b := flag.Int("b", 0, "byzantine servers tolerated (dissemination/masking)")
+	eps := flag.Float64("eps", 1e-3, "target consistency error")
+	q := flag.Int("q", 0, "explicit quorum size (overrides -eps)")
+	flag.Parse()
+
+	var mode pqs.Mode
+	switch *modeStr {
+	case "benign":
+		mode = pqs.ModeBenign
+	case "dissemination":
+		mode = pqs.ModeDissemination
+	case "masking":
+		mode = pqs.ModeMasking
+	default:
+		return fmt.Errorf("unknown mode %q", *modeStr)
+	}
+
+	sys, err := pqs.New(pqs.Config{N: *n, Mode: mode, B: *b, Epsilon: *eps, Q: *q})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("system:           %s\n", sys.Name())
+	fmt.Printf("mode:             %s\n", sys.Mode())
+	if sys.B() > 0 {
+		fmt.Printf("byzantine b:      %d\n", sys.B())
+	}
+	if sys.K() > 0 {
+		fmt.Printf("read threshold k: %d\n", sys.K())
+	}
+	fmt.Printf("quorum size:      %d\n", sys.QuorumSize())
+	fmt.Printf("load:             %.4f (1/sqrt(n) = %.4f)\n", sys.Load(), 1/math.Sqrt(float64(*n)))
+	fmt.Printf("fault tolerance:  %d of %d\n", sys.FaultTolerance(), sys.N())
+	fmt.Printf("exact epsilon:    %.3e\n", sys.Epsilon())
+	fmt.Printf("epsilon bound:    %.3e (paper closed form)\n", sys.EpsilonBound())
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		fmt.Printf("F_p at p=%.2f:    %.3e\n", p, sys.FailProb(p))
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+// Command pqs-cli reads and writes a replicated variable served by pqsd
+// replicas over TCP.
+//
+// Usage:
+//
+//	pqs-cli -servers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002 \
+//	        -q 2 put greeting hello
+//	pqs-cli -servers ... -q 2 get greeting
+//
+// The universe size is the number of servers given; -q (or -eps) selects
+// the quorum size exactly as in the library.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pqs-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := flag.String("servers", "", "comma-separated id=host:port pairs")
+	modeStr := flag.String("mode", "benign", "failure model: benign, masking")
+	b := flag.Int("b", 0, "byzantine servers tolerated (masking)")
+	eps := flag.Float64("eps", 1e-3, "target consistency error")
+	q := flag.Int("q", 0, "explicit quorum size (overrides -eps)")
+	writer := flag.Uint("writer", 1, "writer id for puts")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	flag.Parse()
+
+	addrs, err := parseServers(*servers)
+	if err != nil {
+		return err
+	}
+	args := flag.Args()
+	if len(args) < 2 {
+		return fmt.Errorf("usage: pqs-cli -servers ... get <key> | put <key> <value>")
+	}
+
+	var mode pqs.Mode
+	switch *modeStr {
+	case "benign":
+		mode = pqs.ModeBenign
+	case "masking":
+		mode = pqs.ModeMasking
+	default:
+		return fmt.Errorf("unsupported mode %q (dissemination needs key distribution; use the library)", *modeStr)
+	}
+
+	sys, err := pqs.New(pqs.Config{N: len(addrs), Mode: mode, B: *b, Epsilon: *eps, Q: *q})
+	if err != nil {
+		return err
+	}
+	tc, err := pqs.Dial(addrs)
+	if err != nil {
+		return err
+	}
+	defer tc.Close()
+	client, err := pqs.NewClient(pqs.ClientConfig{
+		System:    sys,
+		Transport: tc,
+		WriterID:  uint32(*writer),
+		Seed:      time.Now().UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "get":
+		r, err := client.Read(ctx, args[1])
+		if err != nil {
+			return err
+		}
+		if !r.Found {
+			fmt.Printf("(not found; %d/%d replied)\n", r.Replies, len(r.Quorum))
+			return nil
+		}
+		fmt.Printf("%s\t(stamp %s, %d vouchers, %d/%d replied)\n",
+			r.Value, r.Stamp, r.Vouchers, r.Replies, len(r.Quorum))
+	case "put":
+		if len(args) < 3 {
+			return fmt.Errorf("put needs <key> <value>")
+		}
+		w, err := client.Write(ctx, args[1], []byte(args[2]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ok\t(stamp %s, %d/%d acked)\n", w.Stamp, len(w.Acked), len(w.Quorum))
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+func parseServers(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-servers is required")
+	}
+	out := make(map[int]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad server spec %q (want id=host:port)", pair)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad server id %q: %w", id, err)
+		}
+		out[n] = addr
+	}
+	return out, nil
+}

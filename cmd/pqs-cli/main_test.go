@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestParseServers(t *testing.T) {
+	addrs, err := parseServers("0=127.0.0.1:7000,2=10.0.0.1:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 2 || addrs[0] != "127.0.0.1:7000" || addrs[2] != "10.0.0.1:7002" {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestParseServersErrors(t *testing.T) {
+	cases := []string{"", "noequals", "x=1.2.3.4:5", "1"}
+	for _, c := range cases {
+		if _, err := parseServers(c); err == nil {
+			t.Errorf("parseServers(%q) should fail", c)
+		}
+	}
+}

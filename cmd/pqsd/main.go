@@ -1,0 +1,80 @@
+// Command pqsd runs one replica server over TCP. A deployment runs n of
+// these (one per server in the universe) and points clients at them with
+// pqs-cli or the library's Dial. With -peers it also runs the epidemic
+// anti-entropy engine of Section 1.1, lazily spreading updates between
+// replicas.
+//
+// Usage:
+//
+//	pqsd -id 0 -listen 127.0.0.1:7000
+//	pqsd -id 1 -listen 127.0.0.1:7001 \
+//	     -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -gossip-interval 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"pqs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pqsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	id := flag.Int("id", 0, "server id (position in the universe)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	peers := flag.String("peers", "", "comma-separated id=host:port peers for gossip (optional)")
+	fanout := flag.Int("fanout", 1, "gossip peers contacted per round")
+	interval := flag.Duration("gossip-interval", time.Second, "gossip round period")
+	flag.Parse()
+
+	srv, err := pqs.ListenAndServe(*id, *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pqsd: replica %d serving on %s\n", *id, srv.Addr())
+
+	if *peers != "" {
+		addrs, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		if err := srv.StartDiffusion(addrs, *fanout, *interval); err != nil {
+			return err
+		}
+		fmt.Printf("pqsd: gossiping with %d peers every %s\n", len(addrs), *interval)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("pqsd: shutting down")
+	return srv.Close()
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	out := make(map[int]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer spec %q (want id=host:port)", pair)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", id, err)
+		}
+		out[n] = addr
+	}
+	return out, nil
+}

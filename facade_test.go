@@ -1,0 +1,90 @@
+package pqs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestFacadeRetryingClient(t *testing.T) {
+	sys, err := New(Config{N: 12, Q: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewLocalCluster(12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewClient(ClientConfig{
+		System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 10,
+		RequireFullWrite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRetryingClient(base, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.SetDropProb(0.25)
+	ctx := context.Background()
+	if _, err := rc.Write(ctx, "x", []byte("resilient")); err != nil {
+		t.Fatalf("retrying write failed: %v", err)
+	}
+	cluster.SetDropProb(0)
+	r, err := rc.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Found || string(r.Value) != "resilient" {
+		t.Errorf("read %+v", r)
+	}
+}
+
+func TestFacadeReadRepair(t *testing.T) {
+	sys, err := New(Config{N: 20, Q: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewLocalCluster(20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{
+		System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 11,
+		ReadRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := client.Write(ctx, "x", []byte("heal")); err != nil {
+		t.Fatal(err)
+	}
+	// After a handful of repairing reads, the value is everywhere: even a
+	// read quorum disjoint from the original write quorum (impossible here
+	// with q=11, but members individually stale) holds it.
+	for i := 0; i < 5; i++ {
+		if _, err := client.Read(ctx, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	holders := 0
+	for _, rep := range cluster.Replicas() {
+		if e, ok := rep.Store().Get("x"); ok && string(e.Value) == "heal" {
+			holders++
+		}
+	}
+	if holders < 15 {
+		t.Errorf("only %d/20 servers hold the value after repairing reads", holders)
+	}
+	// Masking mode + repair must be rejected at the facade level too.
+	msys, err := New(Config{N: 20, Mode: ModeMasking, B: 2, Epsilon: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(ClientConfig{
+		System: msys, Transport: cluster.Transport(), WriterID: 1, ReadRepair: true,
+	}); err == nil {
+		t.Error("masking + read repair accepted by facade")
+	}
+}

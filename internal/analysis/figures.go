@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pqs/internal/core"
+	"pqs/internal/quorum"
+)
+
+// FigureSizes are the universe sizes plotted in Figures 1-3: n = 100 and
+// n = 300, against the strict lower bound for n <= 300.
+var FigureSizes = []int{100, 300}
+
+// figureGrid returns the crash-probability domain p ∈ [0, 1].
+func figureGrid() []float64 {
+	xs := make([]float64, 0, 101)
+	for i := 0; i <= 100; i++ {
+		xs = append(xs, float64(i)/100)
+	}
+	return xs
+}
+
+// seriesFromFailProb samples sys.FailProb over the p grid.
+func seriesFromFailProb(name string, sys quorum.System, xs []float64) Series {
+	s := Series{Name: name, X: xs, Y: make([]float64, len(xs))}
+	for i, p := range xs {
+		s.Y[i] = sys.FailProb(p)
+	}
+	return s
+}
+
+// strictBoundSeries is the lower bound on the failure probability of any
+// strict quorum system over at most n servers: min(majority F_p, p).
+func strictBoundSeries(n int, xs []float64) Series {
+	s := Series{Name: fmt.Sprintf("strict lower bound (n<=%d)", n), X: xs, Y: make([]float64, len(xs))}
+	for i, p := range xs {
+		s.Y[i] = core.StrictFailLowerBound(n, p)
+	}
+	return s
+}
+
+// Figure1 reproduces Figure 1: failure probabilities of ε-intersecting
+// quorum systems. The left panel plots R(n, q) for n = 100, 300 against the
+// strict lower bound; the right panel against the threshold (majority)
+// construction. Quorum sizes are the minimal q with exact ε ≤ .001,
+// matching the figure's stated guarantee.
+func Figure1() (left, right *Figure, err error) {
+	xs := figureGrid()
+	left = &Figure{
+		ID:     "figure1-left",
+		Title:  "Failure probabilities of probabilistic quorum systems vs strict lower bound",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	right = &Figure{
+		ID:     "figure1-right",
+		Title:  "Failure probabilities of probabilistic vs threshold quorum systems",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	for _, n := range FigureSizes {
+		q, err := core.MinQForEpsilon(n, EpsTarget)
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := core.NewEpsilonIntersecting(n, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob := seriesFromFailProb(fmt.Sprintf("R(n=%d,q=%d)", n, q), e, xs)
+		left.Series = append(left.Series, prob)
+		right.Series = append(right.Series, prob)
+		th, err := quorum.NewMajority(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		right.Series = append(right.Series, seriesFromFailProb(fmt.Sprintf("threshold(n=%d)", n), th, xs))
+	}
+	left.Series = append(left.Series, strictBoundSeries(300, xs))
+	annotateCrossovers(left)
+	annotatePairwise(right)
+	return left, right, nil
+}
+
+// Figure2 reproduces Figure 2: failure probabilities of probabilistic
+// dissemination quorum systems with b = √n, against the strict lower bound
+// (left) and the threshold dissemination construction of size
+// ceil((n+b+1)/2) (right).
+func Figure2() (left, right *Figure, err error) {
+	xs := figureGrid()
+	left = &Figure{
+		ID:     "figure2-left",
+		Title:  "Failure probabilities of probabilistic dissemination quorum systems vs strict lower bound",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	right = &Figure{
+		ID:     "figure2-right",
+		Title:  "Failure probabilities of probabilistic vs threshold dissemination quorum systems",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	for _, n := range FigureSizes {
+		b := sqrtB(n)
+		q, err := core.MinQForDissemination(n, b, EpsTarget)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := core.NewDissemination(n, q, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob := seriesFromFailProb(fmt.Sprintf("R(n=%d,q=%d) b=%d", n, q, b), d, xs)
+		left.Series = append(left.Series, prob)
+		right.Series = append(right.Series, prob)
+		th, err := quorum.NewDissemThreshold(n, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		right.Series = append(right.Series,
+			seriesFromFailProb(fmt.Sprintf("dissem-threshold(n=%d,b=%d)", n, b), th, xs))
+	}
+	left.Series = append(left.Series, strictBoundSeries(300, xs))
+	annotateCrossovers(left)
+	annotatePairwise(right)
+	return left, right, nil
+}
+
+// Figure3 reproduces Figure 3: failure probabilities of probabilistic
+// masking quorum systems with b = √n, against the strict lower bound (left)
+// and the threshold masking construction of size ceil((n+2b+1)/2) (right).
+func Figure3() (left, right *Figure, err error) {
+	xs := figureGrid()
+	left = &Figure{
+		ID:     "figure3-left",
+		Title:  "Failure probabilities of probabilistic masking quorum systems vs strict lower bound",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	right = &Figure{
+		ID:     "figure3-right",
+		Title:  "Failure probabilities of probabilistic vs threshold masking quorum systems",
+		XLabel: "p",
+		YLabel: "F_p",
+		LogY:   true,
+	}
+	for _, n := range FigureSizes {
+		b := sqrtB(n)
+		q, err := core.MinQForMasking(n, b, EpsTarget)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := core.NewMasking(n, q, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob := seriesFromFailProb(fmt.Sprintf("Rk(n=%d,q=%d,k=%d) b=%d", n, q, m.K(), b), m, xs)
+		left.Series = append(left.Series, prob)
+		right.Series = append(right.Series, prob)
+		th, err := quorum.NewMaskThreshold(n, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		right.Series = append(right.Series,
+			seriesFromFailProb(fmt.Sprintf("mask-threshold(n=%d,b=%d)", n, b), th, xs))
+	}
+	left.Series = append(left.Series, strictBoundSeries(300, xs))
+	annotateCrossovers(left)
+	annotatePairwise(right)
+	return left, right, nil
+}
+
+// sqrtB returns b = floor(√n), the figures' "b = √n" setting.
+func sqrtB(n int) int {
+	b := 0
+	for (b+1)*(b+1) <= n {
+		b++
+	}
+	return b
+}
+
+// annotateCrossovers appends a note per series pair describing where the
+// first (probabilistic) series beats the last (baseline) series — the
+// "who wins where" summary of the figure's left panels, where every
+// probabilistic curve is compared against the single strict lower bound.
+func annotateCrossovers(f *Figure) {
+	if len(f.Series) < 2 {
+		return
+	}
+	base := f.Series[len(f.Series)-1]
+	for _, s := range f.Series[:len(f.Series)-1] {
+		if s.Name == base.Name {
+			continue
+		}
+		annotatePair(f, s, base)
+	}
+}
+
+// annotatePairwise annotates (series[0] vs series[1]), (series[2] vs
+// series[3]), ...: the right panels interleave each probabilistic curve
+// with its same-n threshold baseline.
+func annotatePairwise(f *Figure) {
+	for i := 0; i+1 < len(f.Series); i += 2 {
+		annotatePair(f, f.Series[i], f.Series[i+1])
+	}
+}
+
+func annotatePair(f *Figure, s, base Series) {
+	xo := Crossovers(s, base)
+	note := fmt.Sprintf("%s vs %s: beats baseline on p in %s", s.Name, base.Name, winRange(s, base))
+	if len(xo) > 0 {
+		note += fmt.Sprintf("; crossovers near p = %.2g", xo)
+	}
+	f.Notes = append(f.Notes, note)
+}
+
+// winRange reports the sub-interval of the domain where a < b, formatted
+// for human consumption.
+func winRange(a, b Series) string {
+	lo, hi := -1.0, -1.0
+	for i := range a.X {
+		if a.Y[i] < b.Y[i] {
+			if lo < 0 {
+				lo = a.X[i]
+			}
+			hi = a.X[i]
+		}
+	}
+	if lo < 0 {
+		return "(nowhere)"
+	}
+	return fmt.Sprintf("[%.2f, %.2f]", lo, hi)
+}

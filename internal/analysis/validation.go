@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"pqs/internal/core"
+	"pqs/internal/quorum"
+	"pqs/internal/sim"
+)
+
+// validationSystems returns the full zoo of systems at n=100, b=4 — every
+// construction the Section 6 tables mention — for cross-validation runs.
+func validationSystems() ([]quorum.System, error) {
+	n, b := 100, 4
+	var out []quorum.System
+	maj, err := quorum.NewMajority(n)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := quorum.NewGrid(n)
+	if err != nil {
+		return nil, err
+	}
+	dth, err := quorum.NewDissemThreshold(n, b)
+	if err != nil {
+		return nil, err
+	}
+	mth, err := quorum.NewMaskThreshold(n, b)
+	if err != nil {
+		return nil, err
+	}
+	dgr, err := quorum.NewDissemGrid(n, b)
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := quorum.NewMaskGrid(n, b)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := core.NewEpsilonIntersectingEll(n, PaperEll2[n])
+	if err != nil {
+		return nil, err
+	}
+	dis, err := core.NewDisseminationEll(n, b, PaperEll3[n])
+	if err != nil {
+		return nil, err
+	}
+	msk, err := core.NewMasking(n, core.QFromEll(n, PaperEll4[n]), b)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, maj, grid, dth, mth, dgr, mgr, eps, dis, msk)
+	return out, nil
+}
+
+// TableLoadValidation cross-checks the analytic load (Definition 2.4) of
+// every Section 6 construction against the empirical access frequency of
+// the busiest server under the built-in strategy.
+func TableLoadValidation(trials int, seed int64) (*Table, error) {
+	systems, err := validationSystems()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "validation-load",
+		Title:   fmt.Sprintf("Analytic vs empirical load (n=100, b=4, %d sampled quorums)", trials),
+		Columns: []string{"system", "quorum size", "analytic load", "empirical max rate", "empirical mean rate"},
+		Notes: []string{
+			"empirical max rate is the Monte-Carlo estimate of L_w(Q): the busiest server's access frequency.",
+		},
+	}
+	for _, sys := range systems {
+		res, err := sim.MeasureLoad(sys, trials, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			sys.Name(),
+			fmt.Sprint(sys.QuorumSize()),
+			fmt.Sprintf("%.4f", sys.Load()),
+			fmt.Sprintf("%.4f", res.MaxRate),
+			fmt.Sprintf("%.4f", res.MeanRate),
+		})
+	}
+	return t, nil
+}
+
+// TableAvailabilityValidation cross-checks the analytic failure probability
+// (Definition 2.6) against Monte-Carlo crash sampling for every Section 6
+// construction, at several crash probabilities. For ByzGrid systems the
+// analytic column is a documented union-bound upper estimate and the
+// Monte-Carlo column is the ground truth.
+func TableAvailabilityValidation(trials int, seed int64) (*Table, error) {
+	systems, err := validationSystems()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "validation-availability",
+		Title:   fmt.Sprintf("Analytic vs Monte-Carlo failure probability (n=100, b=4, %d crash samples)", trials),
+		Columns: []string{"system", "p", "analytic F_p", "monte-carlo F_p"},
+	}
+	for _, sys := range systems {
+		for _, p := range []float64{0.25, 0.5, 0.75} {
+			mc, err := sim.MeasureAvailability(sys, p, trials, seed)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				sys.Name(),
+				fmt.Sprintf("%.2f", p),
+				fmt.Sprintf("%.4f", sys.FailProb(p)),
+				fmt.Sprintf("%.4f", mc),
+			})
+		}
+	}
+	return t, nil
+}
+
+// FigureScaling is an extension experiment: how the minimal quorum size
+// achieving exact ε ≤ 1e-3 grows with n for the three constructions
+// (b = √n for the Byzantine ones), demonstrating the ℓ√n scaling law that
+// drives the paper's O(1/√n) load results — and the ℓb cost of masking.
+func FigureScaling() (*Figure, error) {
+	sizes := []int{25, 49, 100, 225, 400, 625, 900, 1225, 1600}
+	f := &Figure{
+		ID:     "figure-scaling",
+		Title:  "Minimal quorum size for eps <= 1e-3 vs universe size (extension)",
+		XLabel: "n",
+		YLabel: "q",
+		Notes: []string{
+			"benign and dissemination track l*sqrt(n) with l ~ 2.6-2.9; masking tracks l*b = l*sqrt(n) with l ~ 4-5.",
+		},
+	}
+	benign := Series{Name: "benign min q"}
+	dissem := Series{Name: "dissemination min q (b=sqrt(n))"}
+	masking := Series{Name: "masking min q (b=sqrt(n))"}
+	ref := Series{Name: "2.63*sqrt(n) reference"}
+	for _, n := range sizes {
+		b := sqrtB(n)
+		qb, err := core.MinQForEpsilon(n, EpsTarget)
+		if err != nil {
+			return nil, err
+		}
+		qd, err := core.MinQForDissemination(n, b, EpsTarget)
+		if err != nil {
+			return nil, err
+		}
+		qm, err := core.MinQForMasking(n, b, EpsTarget)
+		if err != nil {
+			return nil, err
+		}
+		x := float64(n)
+		benign.X = append(benign.X, x)
+		benign.Y = append(benign.Y, float64(qb))
+		dissem.X = append(dissem.X, x)
+		dissem.Y = append(dissem.Y, float64(qd))
+		masking.X = append(masking.X, x)
+		masking.Y = append(masking.Y, float64(qm))
+		ref.X = append(ref.X, x)
+		ref.Y = append(ref.Y, 2.63*math.Sqrt(x))
+	}
+	f.Series = []Series{benign, dissem, masking, ref}
+	return f, nil
+}

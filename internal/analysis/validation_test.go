@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableLoadValidation(t *testing.T) {
+	tbl, err := TableLoadValidation(8000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		analytic := floatCell(t, tbl, i, 2)
+		empirical := floatCell(t, tbl, i, 3)
+		// The busiest-server estimate concentrates near the analytic load
+		// (every construction here is symmetric, so max ≈ mean ≈ load).
+		if math.Abs(analytic-empirical) > 0.05 {
+			t.Errorf("%s: analytic %v vs empirical %v", row[0], analytic, empirical)
+		}
+	}
+}
+
+func TestTableAvailabilityValidation(t *testing.T) {
+	tbl, err := TableAvailabilityValidation(6000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9*3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		analytic := floatCell(t, tbl, i, 2)
+		mc := floatCell(t, tbl, i, 3)
+		if strings.Contains(row[0], "grid(n=100,b=") {
+			// ByzGrid analytic is a union-bound upper estimate.
+			if mc > analytic+0.03 {
+				t.Errorf("%s p=%s: MC %v exceeds union bound %v", row[0], row[1], mc, analytic)
+			}
+			continue
+		}
+		if math.Abs(analytic-mc) > 0.03 {
+			t.Errorf("%s p=%s: analytic %v vs MC %v", row[0], row[1], analytic, mc)
+		}
+	}
+}
+
+func TestFigureScaling(t *testing.T) {
+	f, err := FigureScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series = %d", len(f.Series))
+	}
+	benign, dissem, masking := f.Series[0], f.Series[1], f.Series[2]
+	last := len(benign.X) - 1
+	// The sqrt scaling law: q/sqrt(n) stays within a narrow band for the
+	// benign construction across two orders of magnitude in n.
+	firstRatio := benign.Y[0] / math.Sqrt(benign.X[0])
+	lastRatio := benign.Y[last] / math.Sqrt(benign.X[last])
+	if lastRatio > firstRatio*1.5 || lastRatio < firstRatio/1.5 {
+		t.Errorf("benign q/sqrt(n) drifted: %v -> %v", firstRatio, lastRatio)
+	}
+	// Ordering: masking needs the largest quorums, dissemination slightly
+	// more than benign (b = sqrt(n) servers must be overcome).
+	for i := range benign.X {
+		if !(benign.Y[i] <= dissem.Y[i] && dissem.Y[i] <= masking.Y[i]) {
+			t.Errorf("ordering violated at n=%v: %v, %v, %v",
+				benign.X[i], benign.Y[i], dissem.Y[i], masking.Y[i])
+		}
+	}
+	// All curves grow with n.
+	for _, s := range f.Series[:3] {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("%s not monotone at n=%v", s.Name, s.X[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpsilonIntersectingPaperTable2(t *testing.T) {
+	// Table 2: n, ℓ, quorum size, fault tolerance.
+	cases := []struct {
+		n    int
+		ell  float64
+		q, a int
+	}{
+		{25, 1.80, 9, 17},
+		{100, 2.20, 22, 79},
+		{225, 2.40, 36, 190},
+		{400, 2.45, 49, 352},
+		{625, 2.48, 62, 564},
+		{900, 2.50, 75, 826},
+	}
+	for _, c := range cases {
+		e, err := NewEpsilonIntersectingEll(c.n, c.ell)
+		if err != nil {
+			t.Fatalf("n=%d: %v", c.n, err)
+		}
+		if e.QuorumSize() != c.q {
+			t.Errorf("n=%d: quorum size %d, want %d", c.n, e.QuorumSize(), c.q)
+		}
+		if e.FaultTolerance() != c.a {
+			t.Errorf("n=%d: fault tolerance %d, want %d", c.n, e.FaultTolerance(), c.a)
+		}
+		if load, want := e.Load(), float64(c.q)/float64(c.n); math.Abs(load-want) > 1e-12 {
+			t.Errorf("n=%d: load %v, want %v", c.n, load, want)
+		}
+	}
+}
+
+func TestEpsilonExactBelowBound(t *testing.T) {
+	// Lemma 3.15 / Theorem 3.16: exact ε < e^{-ℓ²}.
+	for _, n := range []int{25, 100, 300, 900} {
+		for q := 2; q*2 <= n; q += 3 {
+			e, err := NewEpsilonIntersecting(n, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Epsilon() > e.EpsilonBound()+1e-15 {
+				t.Errorf("n=%d q=%d: exact %v exceeds bound %v", n, q, e.Epsilon(), e.EpsilonBound())
+			}
+		}
+	}
+}
+
+func TestEpsilonDecreasingInQ(t *testing.T) {
+	n := 144
+	prev := 1.1
+	for q := 1; q <= n/2+1; q++ {
+		e, err := NewEpsilonIntersecting(n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := e.Epsilon()
+		if eps > prev+1e-15 {
+			t.Fatalf("epsilon not decreasing at q=%d: %v > %v", q, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestMinQForEpsilon(t *testing.T) {
+	for _, c := range []struct {
+		n   int
+		eps float64
+	}{{100, 1e-3}, {100, 1e-6}, {400, 1e-3}, {49, 0.01}} {
+		q, err := MinQForEpsilon(c.n, c.eps)
+		if err != nil {
+			t.Fatalf("n=%d eps=%v: %v", c.n, c.eps, err)
+		}
+		e, err := NewEpsilonIntersecting(c.n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Epsilon() > c.eps {
+			t.Errorf("n=%d: q=%d has eps %v > %v", c.n, q, e.Epsilon(), c.eps)
+		}
+		if q > 1 {
+			e2, err := NewEpsilonIntersecting(c.n, q-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e2.Epsilon() <= c.eps {
+				t.Errorf("n=%d: q=%d not minimal (q-1 gives %v)", c.n, q, e2.Epsilon())
+			}
+		}
+	}
+	if _, err := MinQForEpsilon(10, 0); err == nil {
+		t.Error("eps=0 must be rejected")
+	}
+	if _, err := MinQForEpsilon(10, 1); err == nil {
+		t.Error("eps=1 must be rejected")
+	}
+}
+
+func TestDisseminationReducesToIntersecting(t *testing.T) {
+	// With b = 0, P(Q∩Q' ⊆ ∅) is exactly the non-intersection probability.
+	d, err := NewDissemination(100, 22, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEpsilonIntersecting(100, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Epsilon()-e.Epsilon()) > 1e-15 {
+		t.Errorf("b=0 dissemination eps %v != intersecting eps %v", d.Epsilon(), e.Epsilon())
+	}
+}
+
+func TestDisseminationExactBelowBound(t *testing.T) {
+	// Theorem 4.4 (b = n/3) and Theorem 4.6 (b = αn): exact ≤ bound.
+	for _, c := range []struct{ n, q, b int }{
+		{99, 30, 33},   // b = n/3
+		{90, 25, 30},   // b = n/3
+		{100, 40, 50},  // α = 1/2
+		{100, 30, 60},  // α = 0.6, q <= n-b
+		{400, 80, 200}, // α = 1/2, larger n
+	} {
+		d, err := NewDissemination(c.n, c.q, c.b)
+		if err != nil {
+			t.Fatalf("n=%d q=%d b=%d: %v", c.n, c.q, c.b, err)
+		}
+		if d.Epsilon() > d.EpsilonBound()+1e-15 {
+			t.Errorf("n=%d q=%d b=%d: exact %v exceeds bound %v",
+				c.n, c.q, c.b, d.Epsilon(), d.EpsilonBound())
+		}
+	}
+}
+
+func TestDisseminationEpsilonIncreasesWithB(t *testing.T) {
+	n, q := 225, 37
+	prev := -1.0
+	for b := 0; b <= n-q; b += 15 {
+		d, err := NewDissemination(n, q, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := d.Epsilon()
+		if eps < prev-1e-15 {
+			t.Fatalf("epsilon not increasing in b at b=%d", b)
+		}
+		prev = eps
+	}
+}
+
+func TestDisseminationValidation(t *testing.T) {
+	// Definition 4.1 requires A > b, i.e. q <= n-b.
+	if _, err := NewDissemination(100, 80, 30); err == nil {
+		t.Error("q > n-b must be rejected")
+	}
+	if _, err := NewDissemination(100, 22, -1); err == nil {
+		t.Error("negative b must be rejected")
+	}
+	if _, err := NewDissemination(100, 22, 100); err == nil {
+		t.Error("b >= n must be rejected")
+	}
+}
+
+func TestMinQForDissemination(t *testing.T) {
+	n, b := 100, 10
+	q, err := MinQForDissemination(n, b, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDissemination(n, q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Epsilon() > 1e-3 {
+		t.Errorf("q=%d gives eps %v", q, d.Epsilon())
+	}
+	if q > 1 {
+		d2, err := NewDissemination(n, q-1, b)
+		if err == nil && d2.Epsilon() <= 1e-3 {
+			t.Errorf("q=%d not minimal", q)
+		}
+	}
+	// Impossible target: n=10 with b=8 cannot reach 1e-9 (q <= 2).
+	if _, err := MinQForDissemination(10, 8, 1e-9); err == nil {
+		t.Error("unreachable epsilon must error")
+	}
+}
+
+func TestMaskingThresholdChoice(t *testing.T) {
+	// Paper Section 5.3: k = q²/2n. For n=100, q=38: k = ceil(7.22) = 8.
+	m, err := NewMasking(100, 38, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 8 {
+		t.Errorf("k = %d, want 8", m.K())
+	}
+	// k must sit strictly between E|Q∩B| and E|Q∩Q'\B| (Section 5.3).
+	eBad := float64(38*38) / (float64(38) / 4 * 100) // q²/ℓn with ℓ=q/b
+	eGood := float64(38*38) / 100 * (1 - float64(38)/(float64(38)/4*100))
+	if float64(m.K()) <= eBad || float64(m.K()) >= eGood {
+		t.Errorf("k=%d outside (E[X]=%v, E[Y]=%v)", m.K(), eBad, eGood)
+	}
+}
+
+func TestMaskingExactBelowBound(t *testing.T) {
+	// Theorem 5.10: exact ε ≤ 2exp(-(q²/n)min{ψ1,ψ2}) for ℓ = q/b > 2.
+	for _, c := range []struct{ n, q, b int }{
+		{100, 38, 4},
+		{225, 64, 7},
+		{400, 94, 9},
+		{625, 123, 12},
+		{900, 152, 14},
+		{400, 120, 20}, // ℓ = 6
+	} {
+		m, err := NewMasking(c.n, c.q, c.b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", c.n, err)
+		}
+		if m.Ell() <= 2 {
+			t.Fatalf("test case must have ℓ > 2")
+		}
+		if m.Epsilon() > m.EpsilonBound()+1e-15 {
+			t.Errorf("n=%d q=%d b=%d: exact %v exceeds bound %v",
+				c.n, c.q, c.b, m.Epsilon(), m.EpsilonBound())
+		}
+	}
+}
+
+func TestMaskingPaperTable4(t *testing.T) {
+	// Table 4: ℓ (as q/√n), quorum size, fault tolerance; all with ε ≤ 1e-3
+	// by the paper's claim — our exact computation confirms for these rows.
+	cases := []struct {
+		n, b int
+		ell  float64
+		q, a int
+	}{
+		{100, 4, 3.80, 38, 63},
+		{225, 7, 4.27, 64, 162},
+		{400, 9, 4.70, 94, 307},
+		{625, 12, 4.92, 123, 503},
+		{900, 14, 5.07, 152, 749},
+	}
+	for _, c := range cases {
+		q := QFromEll(c.n, c.ell)
+		if q != c.q {
+			t.Errorf("n=%d: derived q=%d, want %d", c.n, q, c.q)
+		}
+		m, err := NewMasking(c.n, c.q, c.b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", c.n, err)
+		}
+		if m.FaultTolerance() != c.a {
+			t.Errorf("n=%d: fault tolerance %d, want %d", c.n, m.FaultTolerance(), c.a)
+		}
+	}
+}
+
+func TestMaskingValidation(t *testing.T) {
+	if _, err := NewMaskingWithK(100, 20, 4, 0); err == nil {
+		t.Error("k < 1 must be rejected")
+	}
+	if _, err := NewMaskingWithK(100, 20, 4, 21); err == nil {
+		t.Error("k > q must be rejected")
+	}
+	if _, err := NewMasking(100, 97, 4); err == nil {
+		t.Error("q > n-b must be rejected")
+	}
+	if _, err := NewMasking(100, 38, -2); err == nil {
+		t.Error("negative b must be rejected")
+	}
+}
+
+func TestMinQForMasking(t *testing.T) {
+	n, b := 400, 9
+	q, err := MinQForMasking(n, b, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMasking(n, q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epsilon() > 1e-3 {
+		t.Errorf("q=%d gives eps %v", q, m.Epsilon())
+	}
+	// Paper's Table 4 uses q=94 for this row; the solver must not do worse.
+	if q > 94 {
+		t.Errorf("solver q=%d exceeds paper's 94", q)
+	}
+}
+
+func TestPsiFactors(t *testing.T) {
+	// Paper remark after Theorem 5.10: ℓ=3 gives ε ≤ 2e^{-q²/48n}; ℓ=20
+	// gives ε ≤ 2e^{-q²/10n} (approximately; ψ is the min of the factors).
+	if got := math.Min(Psi1(3), Psi2(3)); math.Abs(got-1.0/48) > 1e-9 {
+		t.Errorf("min psi at ℓ=3: %v, want 1/48", got)
+	}
+	got := math.Min(Psi1(20), Psi2(20))
+	if got < 1.0/12 || got > 1.0/9 {
+		t.Errorf("min psi at ℓ=20: %v, want ≈ 1/10", got)
+	}
+	if Psi1(2) != 0 || Psi2(2) != 0 {
+		t.Error("psi must vanish at ℓ=2")
+	}
+	// ψ1 switches Chernoff regimes at ℓ = 4e; both pieces must be positive
+	// on their side of the switch (the pieces are intentionally not equal
+	// at the switch point — each is the valid bound in its own regime).
+	if Psi1(4*math.E-1e-9) <= 0 || Psi1(4*math.E+1e-9) <= 0 {
+		t.Error("psi1 must be positive around the regime switch")
+	}
+}
+
+func TestConstructionMeetsLowerBounds(t *testing.T) {
+	// Theorem 3.9: the R(n, q) load q/n must respect the general lower bound.
+	for _, c := range []struct{ n, q int }{{100, 22}, {400, 49}, {900, 75}} {
+		e, err := NewEpsilonIntersecting(c.n, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LoadLowerBoundIntersecting(c.n, float64(c.q), e.Epsilon())
+		if e.Load() < lb-1e-12 {
+			t.Errorf("n=%d q=%d: load %v below Thm 3.9 bound %v", c.n, c.q, e.Load(), lb)
+		}
+		glb := LoadLowerBoundIntersectingGlobal(c.n, e.Epsilon())
+		if e.Load() < glb-1e-12 {
+			t.Errorf("n=%d q=%d: load %v below Cor 3.12 bound %v", c.n, c.q, e.Load(), glb)
+		}
+	}
+	// Theorem 5.5 for the masking construction.
+	for _, c := range []struct{ n, q, b int }{{100, 38, 4}, {400, 94, 9}} {
+		m, err := NewMasking(c.n, c.q, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := LoadLowerBoundMasking(c.n, c.b, m.Epsilon())
+		if m.Load() < lb-1e-12 {
+			t.Errorf("n=%d q=%d b=%d: load %v below Thm 5.5 bound %v", c.n, c.q, c.b, m.Load(), lb)
+		}
+	}
+}
+
+func TestMaskingBeatsStrictLoadBound(t *testing.T) {
+	// Section 5.5: for b = Θ(√n), choosing ℓ = n^{1/5} yields load O(n^{-0.3})
+	// beating the strict Ω(√(b/n)) = Ω(n^{-1/4}) bound. Verify at n = 10000:
+	// b = 100, ℓ = n^{1/5} ≈ 6.31, q = ℓb ≈ 631.
+	n := 10000
+	b := 100
+	ell := math.Pow(float64(n), 0.2)
+	q := int(math.Ceil(ell * float64(b)))
+	m, err := NewMasking(n, q, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strictBound := MaskLoadLowerBound(n, b)
+	if m.Load() >= strictBound {
+		t.Errorf("masking load %v does not beat strict bound %v", m.Load(), strictBound)
+	}
+	if m.Epsilon() > 1e-3 {
+		t.Errorf("epsilon %v exceeds the paper's working guarantee", m.Epsilon())
+	}
+}
+
+func TestTable1Bounds(t *testing.T) {
+	n := 100
+	if got := StrictLoadLowerBound(n); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("strict bound %v, want 0.1", got)
+	}
+	if got := DissemLoadLowerBound(n, 3); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("dissem bound %v, want 0.2", got)
+	}
+	if got := MaskLoadLowerBound(n, 12); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("mask bound %v, want 0.5", got)
+	}
+}
+
+func TestStrictFailLowerBound(t *testing.T) {
+	n := 300
+	// At p >= 1/2 the bound must be at most p (singleton branch).
+	for _, p := range []float64{0.5, 0.6, 0.9} {
+		if got := StrictFailLowerBound(n, p); got > p+1e-15 {
+			t.Errorf("p=%v: bound %v exceeds singleton", p, got)
+		}
+	}
+	// For p < 1/2 it must equal the majority failure probability and be tiny.
+	if got := StrictFailLowerBound(n, 0.3); got > 1e-10 {
+		t.Errorf("p=0.3: bound %v suspiciously large", got)
+	}
+	if StrictFailLowerBound(n, 0) != 0 || StrictFailLowerBound(n, 1) != 1 {
+		t.Error("edge values wrong")
+	}
+	// Monotone in p.
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		v := StrictFailLowerBound(n, p)
+		if v < prev-1e-12 {
+			t.Fatalf("bound not monotone at p=%v", p)
+		}
+		prev = v
+	}
+}
+
+func TestProbabilisticBeatsStrictFailureProbability(t *testing.T) {
+	// The headline claim of Figures 1-3: for p in [1/2, 1-ℓ/√n] the
+	// construction's failure probability beats the strict lower bound.
+	e, err := NewEpsilonIntersectingEll(100, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.5, 0.55, 0.6, 0.65, 0.7} {
+		ours := e.FailProb(p)
+		bound := StrictFailLowerBound(100, p)
+		if ours >= bound {
+			t.Errorf("p=%v: probabilistic F_p %v not below strict bound %v", p, ours, bound)
+		}
+	}
+}
+
+func TestEllAccessors(t *testing.T) {
+	e, _ := NewEpsilonIntersecting(100, 22)
+	if math.Abs(e.Ell()-2.2) > 1e-12 {
+		t.Errorf("Ell = %v, want 2.2", e.Ell())
+	}
+	d, _ := NewDissemination(100, 22, 10)
+	if math.Abs(d.Ell()-2.2) > 1e-12 {
+		t.Errorf("dissem Ell = %v", d.Ell())
+	}
+	if d.B() != 10 {
+		t.Errorf("B = %d", d.B())
+	}
+	m, _ := NewMasking(100, 40, 10)
+	if math.Abs(m.Ell()-4) > 1e-12 {
+		t.Errorf("masking Ell = %v, want 4 (q/b)", m.Ell())
+	}
+	m0, _ := NewMasking(100, 40, 0)
+	if !math.IsInf(m0.Ell(), 1) {
+		t.Error("masking Ell with b=0 must be +Inf")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pqs/internal/combin"
+)
+
+// TestEpsilonBoundDominatesExactQuick samples random (n, q) configurations
+// and checks the Theorem 3.16 relationship ε_exact <= e^{-ℓ²} everywhere,
+// not just at the table sizes.
+func TestEpsilonBoundDominatesExactQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(600)
+		q := 1 + rng.Intn(n/2)
+		e, err := NewEpsilonIntersecting(n, q)
+		if err != nil {
+			return false
+		}
+		return e.Epsilon() <= e.EpsilonBound()+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDisseminationAtLeastIntersectingQuick: for any b >= 0, the
+// dissemination ε (intersection swallowed by B) is at least the plain
+// non-intersection probability, and both lie in [0, 1].
+func TestDisseminationAtLeastIntersectingQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(300)
+		q := 1 + rng.Intn(n/3+1)
+		b := rng.Intn(n - q + 1)
+		if b >= n {
+			return true
+		}
+		d, err := NewDissemination(n, q, b)
+		if err != nil {
+			return false
+		}
+		plain := combin.ProbDisjoint(n, q, q)
+		eps := d.Epsilon()
+		return eps >= plain-1e-15 && eps >= 0 && eps <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaskingEpsilonDominatedByComponentsQuick: the exact masking error is
+// at most P(X >= k) + P(Y < k | worst case) + cross terms — concretely, it
+// must always be at least each individual failure mode's probability and at
+// most their sum computed by the union bound with the conditional Y
+// distribution. We check the cheap direction (>= P(X >= k)) plus range.
+func TestMaskingEpsilonDominatedByComponentsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		q := 2 + rng.Intn(n/2)
+		b := rng.Intn(q / 2)
+		if q > n-b {
+			return true
+		}
+		m, err := NewMasking(n, q, b)
+		if err != nil {
+			return false
+		}
+		eps := m.Epsilon()
+		pxk := combin.HypergeomTailGE(n, b, q, m.K())
+		return eps >= pxk-1e-12 && eps >= 0 && eps <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolversAreMinimalQuick: the minimal-q solvers return a q that meets
+// the target while q-1 does not (when q > 1), across random targets.
+func TestSolversAreMinimalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(400)
+		eps := []float64{0.1, 0.01, 1e-3, 1e-4}[rng.Intn(4)]
+		q, err := MinQForEpsilon(n, eps)
+		if err != nil {
+			return false
+		}
+		if combin.ProbDisjoint(n, q, q) > eps {
+			return false
+		}
+		if q > 1 && combin.ProbDisjoint(n, q-1, q-1) <= eps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

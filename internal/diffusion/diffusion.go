@@ -1,0 +1,279 @@
+// Package diffusion implements the lazy update-propagation mechanism the
+// paper pairs with probabilistic quorums (Section 1.1): "a system built with
+// probabilistic quorum systems can be strengthened by a properly designed
+// diffusion mechanism, which propagates updates to replicated data lazily,
+// i.e., outside the critical path of client operations." Each replica
+// periodically performs push-pull anti-entropy with a few random peers;
+// once an update has diffused to every server, reads cannot miss it
+// regardless of quorum choice, driving the effective ε toward zero for
+// updates that are sufficiently dispersed in time.
+//
+// In the Byzantine setting the merge path must be guarded: a faulty peer can
+// push fabricated entries. Installing a replica.Verifier (signature check,
+// per [MMR99]) restricts diffusion to self-verifying data.
+//
+// The engine exchanges full state per round, which is the textbook
+// formulation and adequate at library scale; a digest-based variant would
+// only change the wire payload, not the convergence behaviour measured here.
+package diffusion
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/wire"
+)
+
+// Config configures a diffusion engine for one replica.
+type Config struct {
+	// Self is the replica this engine gossips on behalf of.
+	Self quorum.ServerID
+	// Peers are the other servers' ids.
+	Peers []quorum.ServerID
+	// Transport delivers gossip RPCs.
+	Transport transport.Transport
+	// Store is the replica's local state, shared with its request handler.
+	Store *replica.Store
+	// Fanout is the number of peers contacted per round (default 1).
+	Fanout int
+	// Verifier, when set, validates entries received from peers before
+	// they are merged (Byzantine-safe diffusion).
+	Verifier replica.Verifier
+	// Rand drives peer selection. Required.
+	Rand *rand.Rand
+	// Interval is the gossip period for Run (default 100ms).
+	Interval time.Duration
+}
+
+// Stats are cumulative engine counters, safe to read concurrently.
+type Stats struct {
+	// Rounds counts completed gossip rounds.
+	Rounds uint64
+	// Contacted counts successful peer exchanges.
+	Contacted uint64
+	// Failed counts peer exchanges that errored (crashed peers etc).
+	Failed uint64
+	// Merged counts entries adopted from peers.
+	Merged uint64
+	// Rejected counts entries refused by the verifier.
+	Rejected uint64
+}
+
+// Engine drives anti-entropy rounds for one replica.
+type Engine struct {
+	cfg Config
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand
+
+	rounds    atomic.Uint64
+	contacted atomic.Uint64
+	failed    atomic.Uint64
+	merged    atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewEngine validates cfg and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("diffusion: Config.Transport is required")
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("diffusion: Config.Store is required")
+	}
+	if cfg.Rand == nil {
+		return nil, errors.New("diffusion: Config.Rand is required")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 1
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	peers := make([]quorum.ServerID, 0, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			peers = append(peers, p)
+		}
+	}
+	cfg.Peers = peers
+	return &Engine{cfg: cfg, rng: cfg.Rand}, nil
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Rounds:    e.rounds.Load(),
+		Contacted: e.contacted.Load(),
+		Failed:    e.failed.Load(),
+		Merged:    e.merged.Load(),
+		Rejected:  e.rejected.Load(),
+	}
+}
+
+// Step performs one push-pull round: select Fanout random peers, push the
+// local state to each, merge whatever they return. Peer failures are
+// tolerated and counted; Step only returns an error if the context is done.
+func (e *Engine) Step(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	defer e.rounds.Add(1)
+	if len(e.cfg.Peers) == 0 {
+		return nil
+	}
+	push := e.buildPush()
+	for _, peer := range e.selectPeers() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := e.cfg.Transport.Call(ctx, peer, push)
+		if err != nil {
+			e.failed.Add(1)
+			continue
+		}
+		reply, ok := resp.(wire.GossipReply)
+		if !ok {
+			e.failed.Add(1)
+			continue
+		}
+		e.contacted.Add(1)
+		e.merge(reply.Entries)
+	}
+	return nil
+}
+
+// Run gossips every Interval until ctx is cancelled.
+func (e *Engine) Run(ctx context.Context) {
+	t := time.NewTicker(e.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if err := e.Step(ctx); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (e *Engine) buildPush() wire.GossipRequest {
+	snap := e.cfg.Store.Snapshot()
+	req := wire.GossipRequest{Entries: make([]wire.Item, 0, len(snap))}
+	for k, entry := range snap {
+		req.Entries = append(req.Entries, wire.Item{
+			Key: k, Value: entry.Value, Stamp: entry.Stamp, Sig: entry.Sig,
+		})
+	}
+	return req
+}
+
+func (e *Engine) selectPeers() []quorum.ServerID {
+	k := e.cfg.Fanout
+	if k > len(e.cfg.Peers) {
+		k = len(e.cfg.Peers)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx := e.rng.Perm(len(e.cfg.Peers))[:k]
+	out := make([]quorum.ServerID, k)
+	for i, j := range idx {
+		out[i] = e.cfg.Peers[j]
+	}
+	return out
+}
+
+func (e *Engine) merge(items []wire.Item) {
+	for _, it := range items {
+		if e.cfg.Verifier != nil && !e.cfg.Verifier(it.Key, it.Value, it.Stamp, it.Sig) {
+			e.rejected.Add(1)
+			continue
+		}
+		if e.cfg.Store.Apply(it.Key, replica.Entry{Value: it.Value, Stamp: it.Stamp, Sig: it.Sig}) {
+			e.merged.Add(1)
+		}
+	}
+}
+
+// Group runs one engine per replica and steps them together, which is how
+// the experiment harness models synchronized gossip rounds.
+type Group struct {
+	engines []*Engine
+}
+
+// NewGroup builds engines for every replica in reps over the given
+// transport. Seed derives per-engine randomness deterministically.
+func NewGroup(reps []*replica.Replica, tr transport.Transport, fanout int, verifier replica.Verifier, seed int64) (*Group, error) {
+	ids := make([]quorum.ServerID, len(reps))
+	for i, r := range reps {
+		ids[i] = r.ID()
+	}
+	g := &Group{}
+	for i, r := range reps {
+		eng, err := NewEngine(Config{
+			Self:      r.ID(),
+			Peers:     ids,
+			Transport: tr,
+			Store:     r.Store(),
+			Fanout:    fanout,
+			Verifier:  verifier,
+			Rand:      rand.New(rand.NewSource(seed + int64(i)*7919)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("diffusion: engine %d: %w", i, err)
+		}
+		g.engines = append(g.engines, eng)
+	}
+	return g, nil
+}
+
+// Engines exposes the group's engines.
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// Step runs one synchronized round across all engines.
+func (g *Group) Step(ctx context.Context) error {
+	for _, e := range g.engines {
+		if err := e.Step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RoundsToConverge steps the group until every store holds key with a stamp
+// at least st, returning the number of rounds taken, or maxRounds+1 if it
+// never converged.
+func (g *Group) RoundsToConverge(ctx context.Context, key string, stamp uint64, maxRounds int) (int, error) {
+	for round := 0; round <= maxRounds; round++ {
+		if g.converged(key, stamp) {
+			return round, nil
+		}
+		if err := g.Step(ctx); err != nil {
+			return round, err
+		}
+	}
+	if g.converged(key, stamp) {
+		return maxRounds, nil
+	}
+	return maxRounds + 1, nil
+}
+
+func (g *Group) converged(key string, stamp uint64) bool {
+	for _, e := range g.engines {
+		entry, ok := e.cfg.Store.Get(key)
+		if !ok || entry.Stamp.Counter < stamp {
+			return false
+		}
+	}
+	return true
+}

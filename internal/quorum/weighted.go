@@ -1,0 +1,197 @@
+package quorum
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Weighted is Gifford-style weighted voting [Gif79], the earliest quorum
+// baseline the paper cites: server i carries votes[i] votes and a quorum is
+// any set whose votes total at least the threshold T, with 2T > total so
+// that two quorums always share a vote (and, votes being held by servers, a
+// server). The access strategy draws a uniformly random server permutation
+// and takes the shortest prefix reaching T — the natural "ask servers in
+// random order until enough votes answer" strategy.
+//
+// Load and quorum size under this strategy have no closed form for general
+// vote vectors; they are estimated once at construction by a seeded
+// Monte-Carlo pass (deterministic, documented on the accessors). Fault
+// tolerance, failure probability and the live-quorum check are exact.
+type Weighted struct {
+	votes []int
+	total int
+	t     int
+
+	// Monte-Carlo estimates fixed at construction.
+	estLoad float64
+	estSize int
+}
+
+var (
+	_ System      = (*Weighted)(nil)
+	_ LiveChecker = (*Weighted)(nil)
+)
+
+// weightedLoadTrials is the construction-time Monte-Carlo sample size for
+// the load and expected-quorum-size estimates.
+const weightedLoadTrials = 20000
+
+// NewWeighted returns the weighted-voting system with the given votes and
+// threshold. It requires positive votes and 2*threshold > total votes.
+func NewWeighted(votes []int, threshold int) (*Weighted, error) {
+	if len(votes) == 0 {
+		return nil, fmt.Errorf("quorum: weighted voting needs at least one server")
+	}
+	total := 0
+	for i, v := range votes {
+		if v <= 0 {
+			return nil, fmt.Errorf("quorum: server %d has non-positive votes %d", i, v)
+		}
+		total += v
+	}
+	if 2*threshold <= total {
+		return nil, fmt.Errorf("quorum: threshold %d does not guarantee intersection over %d total votes", threshold, total)
+	}
+	if threshold > total {
+		return nil, fmt.Errorf("quorum: threshold %d exceeds total votes %d", threshold, total)
+	}
+	w := &Weighted{votes: append([]int(nil), votes...), total: total, t: threshold}
+	w.estimate()
+	return w, nil
+}
+
+// estimate runs the construction-time Monte-Carlo pass for load and
+// expected quorum size under the random-permutation-prefix strategy.
+func (w *Weighted) estimate() {
+	rng := rand.New(rand.NewSource(0x9e3779b9)) // fixed: estimates are deterministic
+	counts := make([]int, len(w.votes))
+	sizeSum := 0
+	for trial := 0; trial < weightedLoadTrials; trial++ {
+		q := w.Pick(rng)
+		sizeSum += len(q)
+		for _, id := range q {
+			counts[id]++
+		}
+	}
+	maxc := 0
+	for _, c := range counts {
+		if c > maxc {
+			maxc = c
+		}
+	}
+	w.estLoad = float64(maxc) / float64(weightedLoadTrials)
+	w.estSize = (sizeSum + weightedLoadTrials/2) / weightedLoadTrials
+}
+
+// Name implements System.
+func (w *Weighted) Name() string {
+	return fmt.Sprintf("weighted(n=%d,T=%d/%d)", len(w.votes), w.t, w.total)
+}
+
+// N implements System.
+func (w *Weighted) N() int { return len(w.votes) }
+
+// Votes returns a copy of the vote assignment.
+func (w *Weighted) Votes() []int { return append([]int(nil), w.votes...) }
+
+// Threshold returns the vote threshold T.
+func (w *Weighted) Threshold() int { return w.t }
+
+// QuorumSize implements System: the Monte-Carlo estimate of the expected
+// quorum size under the built-in strategy (exact only for uniform votes).
+func (w *Weighted) QuorumSize() int { return w.estSize }
+
+// Pick implements System: a uniformly random permutation's shortest prefix
+// reaching the vote threshold.
+func (w *Weighted) Pick(r *rand.Rand) []ServerID {
+	perm := r.Perm(len(w.votes))
+	got := 0
+	var out []ServerID
+	for _, i := range perm {
+		out = append(out, ServerID(i))
+		got += w.votes[i]
+		if got >= w.t {
+			break
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+// Load implements System: the seeded Monte-Carlo estimate of the busiest
+// server's access probability under the built-in strategy (deterministic
+// across runs; exact closed forms exist only for special vote vectors).
+func (w *Weighted) Load() float64 { return w.estLoad }
+
+// FaultTolerance implements System, exactly: the adversary crashes
+// highest-vote servers first; the system is disabled as soon as surviving
+// votes drop below T.
+func (w *Weighted) FaultTolerance() int {
+	sorted := append([]int(nil), w.votes...)
+	// descending insertion sort; n is small
+	for i := 1; i < len(sorted); i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	remaining := w.total
+	for i, v := range sorted {
+		remaining -= v
+		if remaining < w.t {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+// FailProb implements System, exactly: the distribution of surviving votes
+// is the convolution of independent (vote_i with probability 1-p) masses,
+// computed by dynamic programming over vote totals; the system fails when
+// surviving votes < T.
+func (w *Weighted) FailProb(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	dist := make([]float64, w.total+1)
+	dist[0] = 1
+	upper := 0
+	for _, v := range w.votes {
+		upper += v
+		for s := upper; s >= 0; s-- {
+			alive := 0.0
+			if s >= v {
+				alive = dist[s-v] * (1 - p)
+			}
+			dist[s] = dist[s]*p + alive
+		}
+	}
+	var fail float64
+	for s := 0; s < w.t; s++ {
+		fail += dist[s]
+	}
+	if fail > 1 {
+		return 1
+	}
+	return fail
+}
+
+// LiveQuorumExists implements LiveChecker: surviving votes must reach T.
+func (w *Weighted) LiveQuorumExists(crashed func(ServerID) bool) bool {
+	got := 0
+	for i, v := range w.votes {
+		if !crashed(ServerID(i)) {
+			got += v
+			if got >= w.t {
+				return true
+			}
+		}
+	}
+	return false
+}

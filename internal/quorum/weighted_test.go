@@ -1,0 +1,189 @@
+package quorum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(nil, 1); err == nil {
+		t.Error("empty votes accepted")
+	}
+	if _, err := NewWeighted([]int{1, 0, 1}, 2); err == nil {
+		t.Error("zero vote accepted")
+	}
+	if _, err := NewWeighted([]int{1, 1, 1, 1}, 2); err == nil {
+		t.Error("2T <= total accepted (non-intersecting)")
+	}
+	if _, err := NewWeighted([]int{1, 1}, 3); err == nil {
+		t.Error("T > total accepted")
+	}
+}
+
+func TestWeightedUniformEqualsMajority(t *testing.T) {
+	// Unit votes with T = majority reduce exactly to the majority system.
+	n := 9
+	votes := make([]int, n)
+	for i := range votes {
+		votes[i] = 1
+	}
+	w, err := NewWeighted(votes, MajoritySize(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maj, err := NewMajority(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FaultTolerance() != maj.FaultTolerance() {
+		t.Errorf("fault tolerance %d vs majority %d", w.FaultTolerance(), maj.FaultTolerance())
+	}
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		a, b := w.FailProb(p), maj.FailProb(p)
+		if math.Abs(a-b) > 1e-10 {
+			t.Errorf("p=%v: FailProb %v vs majority %v", p, a, b)
+		}
+	}
+	if w.QuorumSize() != maj.QuorumSize() {
+		t.Errorf("quorum size %d vs majority %d", w.QuorumSize(), maj.QuorumSize())
+	}
+	if math.Abs(w.Load()-maj.Load()) > 0.02 {
+		t.Errorf("load %v vs majority %v", w.Load(), maj.Load())
+	}
+}
+
+func TestWeightedPickReachesThreshold(t *testing.T) {
+	votes := []int{5, 1, 1, 1, 1, 1, 3, 2}
+	total := 15
+	w, err := NewWeighted(votes, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = total
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		q := w.Pick(r)
+		got := 0
+		for _, id := range q {
+			got += votes[id]
+		}
+		if got < 8 {
+			t.Fatalf("quorum %v has %d votes < 8", q, got)
+		}
+		// Minimality of the prefix: dropping the last-added member must go
+		// below the threshold. Pick sorts, so check sum-minus-any >= 8 does
+		// not hold for all members (at least one is essential).
+		essential := false
+		for _, id := range q {
+			if got-votes[id] < 8 {
+				essential = true
+				break
+			}
+		}
+		if !essential {
+			t.Fatalf("quorum %v has no essential member", q)
+		}
+	}
+}
+
+func TestWeightedIntersection(t *testing.T) {
+	votes := []int{4, 3, 2, 1, 1, 1}
+	w, err := NewWeighted(votes, 7) // total 12, 2*7 > 12
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := w.Pick(r), w.Pick(r)
+		if len(Intersect(a, b)) == 0 {
+			t.Fatalf("weighted quorums failed to intersect: %v, %v", a, b)
+		}
+	}
+}
+
+func TestWeightedFaultTolerance(t *testing.T) {
+	// votes 4,3,2,1,1,1 total 12, T=7: crash the 4 -> 8 left >= 7 alive;
+	// crash 4+3 -> 5 < 7: A = 2.
+	w, err := NewWeighted([]int{4, 3, 2, 1, 1, 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.FaultTolerance(); got != 2 {
+		t.Errorf("fault tolerance %d, want 2", got)
+	}
+	// The live check agrees: crashing servers 0,1 disables, 0 alone does not.
+	if !w.LiveQuorumExists(crashedSet(0)) {
+		t.Error("single heavy crash should not disable")
+	}
+	if w.LiveQuorumExists(crashedSet(0, 1)) {
+		t.Error("two heaviest crashes should disable")
+	}
+}
+
+func TestWeightedFailProbAgainstMC(t *testing.T) {
+	votes := []int{4, 3, 2, 1, 1, 1}
+	w, err := NewWeighted(votes, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	for _, p := range []float64{0.2, 0.5, 0.8} {
+		trials, fails := 40000, 0
+		for i := 0; i < trials; i++ {
+			got := 0
+			for _, v := range votes {
+				if r.Float64() >= p {
+					got += v
+				}
+			}
+			if got < 7 {
+				fails++
+			}
+		}
+		mc := float64(fails) / float64(trials)
+		exact := w.FailProb(p)
+		se := math.Sqrt(exact * (1 - exact) / float64(trials))
+		if math.Abs(mc-exact) > 5*se+1e-3 {
+			t.Errorf("p=%v: exact %v vs MC %v", p, exact, mc)
+		}
+	}
+	if w.FailProb(0) != 0 || w.FailProb(1) != 1 {
+		t.Error("edge cases wrong")
+	}
+}
+
+func TestWeightedAccessors(t *testing.T) {
+	votes := []int{2, 1}
+	w, err := NewWeighted(votes, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.N() != 2 || w.Threshold() != 2 {
+		t.Error("accessors wrong")
+	}
+	got := w.Votes()
+	got[0] = 99
+	if w.Votes()[0] != 2 {
+		t.Error("Votes aliases internal state")
+	}
+	if w.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestWeightedHeavyServerDominatesLoad(t *testing.T) {
+	// A server holding T votes alone appears in (almost) every quorum under
+	// any reasonable strategy; its load must far exceed the light servers'.
+	votes := []int{10, 1, 1, 1, 1, 1, 1, 1, 1, 1} // total 19, T = 10
+	w, err := NewWeighted(votes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Load() < 0.5 {
+		t.Errorf("heavy server load %v suspiciously low", w.Load())
+	}
+	if w.FaultTolerance() != 1 {
+		t.Errorf("fault tolerance %d, want 1 (crash the heavy server)", w.FaultTolerance())
+	}
+}

@@ -1,0 +1,85 @@
+package register
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pqs/internal/quorum"
+	"pqs/internal/ts"
+)
+
+func TestReadWriteUnderPartition(t *testing.T) {
+	c := newCluster(t, 9)
+	sys := majoritySystem(t, 9)
+	cl := benignClient(t, c, sys, 1)
+	ctx := context.Background()
+
+	if _, err := cl.Write(ctx, "x", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: servers 0-3 in group 1, servers 4-8 in group 0 with the
+	// client. Quorums of size 5 must now be served entirely by the five
+	// reachable servers, so some picks fail partially.
+	groups := map[quorum.ServerID]int{}
+	for i := 0; i < 4; i++ {
+		groups[quorum.ServerID(i)] = 1
+	}
+	c.net.SetPartition(groups)
+
+	// Best-effort operations keep working whenever at least one reachable
+	// member lands in the quorum (always true: quorum size 5, reachable 5,
+	// universe 9 → at least one overlap).
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Write(ctx, "x", []byte("during")); err != nil {
+			t.Fatalf("write during partition: %v", err)
+		}
+		rr, err := cl.Read(ctx, "x")
+		if err != nil {
+			t.Fatalf("read during partition: %v", err)
+		}
+		if string(rr.Value) != "during" && string(rr.Value) != "before" {
+			t.Fatalf("read %+v", rr)
+		}
+	}
+
+	// A full-write client observes the partition as ErrPartialWrite when
+	// its quorum straddles the cut.
+	strict, err := NewClient(Options{
+		System: sys, Mode: Benign, Transport: c.net,
+		Rand:             rand.New(rand.NewSource(99)),
+		Clock:            ts.NewClock(2),
+		RequireFullWrite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPartial := false
+	for i := 0; i < 30 && !sawPartial; i++ {
+		// The strict writer owns its own key: one writer per key.
+		_, err := strict.Write(ctx, "y", []byte("strict"))
+		if errors.Is(err, ErrPartialWrite) {
+			sawPartial = true
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if !sawPartial {
+		t.Error("partition never produced a partial write")
+	}
+
+	// Healing restores full-quorum writes and read-your-write freshness.
+	c.net.ClearPartition()
+	if _, err := strict.Write(ctx, "y", []byte("healed")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	rr, err := cl.Read(ctx, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Value) != "healed" {
+		t.Errorf("read after heal: %+v", rr)
+	}
+}

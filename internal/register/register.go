@@ -1,0 +1,358 @@
+// Package register implements the paper's replicated-variable access
+// protocols on top of a quorum system and a transport: the multi-reader
+// single-writer protocol of Section 3.1 (benign failures), the verifiable
+// read protocol of Section 4 ((b, ε)-dissemination systems, self-verifying
+// data) and the threshold read protocol of Section 5.2 ((b, ε)-masking
+// systems, arbitrary data).
+//
+// The protocols approximate a safe variable: Theorems 3.2, 4.2 and 5.2 show
+// that a read not concurrent with any write returns the last written value
+// with probability at least 1-ε. The sim package measures exactly this.
+package register
+
+import (
+	"context"
+	"crypto/ed25519"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"pqs/internal/quorum"
+	"pqs/internal/sv"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+// Mode selects which of the paper's three access protocols a client runs.
+type Mode int
+
+// Protocol modes.
+const (
+	// Benign is the Section 3.1 protocol: highest timestamp wins.
+	Benign Mode = iota + 1
+	// Dissemination is the Section 4 protocol: only verifiable (signed)
+	// replies are considered, then highest timestamp wins.
+	Dissemination
+	// Masking is the Section 5.2 protocol: only values vouched for by at
+	// least K servers are considered, then highest timestamp wins.
+	Masking
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Benign:
+		return "benign"
+	case Dissemination:
+		return "dissemination"
+	case Masking:
+		return "masking"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Errors returned by the client. Match with errors.Is.
+var (
+	// ErrNoReplies indicates no server in the chosen quorum answered.
+	ErrNoReplies = errors.New("register: no replies from quorum")
+	// ErrPartialWrite indicates fewer than the full quorum acknowledged a
+	// write under RequireFullWrite.
+	ErrPartialWrite = errors.New("register: write reached only part of the quorum")
+)
+
+// Options configures a Client.
+type Options struct {
+	// System supplies quorums; its built-in access strategy is what the
+	// ε analysis assumes, so the client never deviates from it.
+	System quorum.System
+	// Mode selects the access protocol.
+	Mode Mode
+	// K is the masking read threshold (required when Mode == Masking;
+	// use the K() of a core.Masking system).
+	K int
+	// Transport delivers RPCs.
+	Transport transport.Transport
+	// Rand drives the access strategy. Required.
+	Rand *rand.Rand
+	// Clock issues write timestamps. Required for writers.
+	Clock *ts.Clock
+	// Signer, when set, signs writes (self-verifying data).
+	Signer ed25519.PrivateKey
+	// Registry verifies replies in Dissemination mode. Required for
+	// dissemination readers.
+	Registry *sv.Registry
+	// RequireFullWrite makes Write fail with ErrPartialWrite unless every
+	// quorum member acknowledged. The paper's analysis assumes updates
+	// reach the whole chosen quorum; leaving this false (best effort)
+	// trades a further ε degradation for availability.
+	RequireFullWrite bool
+	// ReadRepair pushes the value a read accepted back to the read-quorum
+	// members observed to be stale, with its original signature. Valid in
+	// Benign and Dissemination modes; rejected in Masking mode, where a
+	// fooled read must not persist a fabricated value onto correct servers.
+	ReadRepair bool
+}
+
+// Client reads and writes a replicated variable through quorums.
+// It is safe for concurrent use, though the single-writer protocol
+// requires that at most one client writes any given key.
+type Client struct {
+	opts Options
+
+	mu  sync.Mutex // guards rand (rand.Rand is not goroutine safe)
+	rng *rand.Rand
+}
+
+// NewClient validates the option combination and returns a client.
+func NewClient(opts Options) (*Client, error) {
+	if opts.System == nil {
+		return nil, errors.New("register: Options.System is required")
+	}
+	if opts.Transport == nil {
+		return nil, errors.New("register: Options.Transport is required")
+	}
+	if opts.Rand == nil {
+		return nil, errors.New("register: Options.Rand is required")
+	}
+	switch opts.Mode {
+	case Benign:
+	case Dissemination:
+		if opts.Registry == nil {
+			return nil, errors.New("register: dissemination mode requires Options.Registry")
+		}
+	case Masking:
+		if opts.K < 1 {
+			return nil, fmt.Errorf("register: masking mode requires K >= 1, got %d", opts.K)
+		}
+		if opts.ReadRepair {
+			return nil, errors.New("register: read repair is unsafe in masking mode (a fooled read would persist a fabricated value)")
+		}
+	default:
+		return nil, fmt.Errorf("register: unknown mode %d", opts.Mode)
+	}
+	return &Client{opts: opts, rng: opts.Rand}, nil
+}
+
+// Mode returns the client's protocol mode.
+func (c *Client) Mode() Mode { return c.opts.Mode }
+
+// System returns the client's quorum system.
+func (c *Client) System() quorum.System { return c.opts.System }
+
+// pick samples a quorum under the client's strategy.
+func (c *Client) pick() []quorum.ServerID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.opts.System.Pick(c.rng)
+}
+
+// WriteResult reports the outcome of a write.
+type WriteResult struct {
+	// Quorum is the access set chosen by the strategy.
+	Quorum []quorum.ServerID
+	// Acked lists the members that acknowledged.
+	Acked []quorum.ServerID
+	// Errs maps failed members to their errors.
+	Errs map[quorum.ServerID]error
+	// Stamp is the timestamp assigned to this write.
+	Stamp ts.Stamp
+}
+
+// Write performs the Section 3.1 write protocol: choose a quorum, choose a
+// timestamp greater than any previous one, install the value at every
+// member. The value slice is not retained.
+func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+	if c.opts.Clock == nil {
+		return WriteResult{}, errors.New("register: client has no clock; cannot write")
+	}
+	q := c.pick()
+	stamp := c.opts.Clock.Next()
+	val := make([]byte, len(value))
+	copy(val, value)
+	var sig []byte
+	if c.opts.Signer != nil {
+		sig = sv.Sign(c.opts.Signer, key, val, stamp)
+	}
+	req := wire.WriteRequest{Key: key, Value: val, Stamp: stamp, Sig: sig}
+
+	res := WriteResult{Quorum: q, Stamp: stamp, Errs: make(map[quorum.ServerID]error)}
+	type ack struct {
+		id  quorum.ServerID
+		err error
+	}
+	acks := make(chan ack, len(q))
+	for _, id := range q {
+		go func(id quorum.ServerID) {
+			_, err := c.opts.Transport.Call(ctx, id, req)
+			acks <- ack{id: id, err: err}
+		}(id)
+	}
+	for range q {
+		a := <-acks
+		if a.err != nil {
+			res.Errs[a.id] = a.err
+			continue
+		}
+		res.Acked = append(res.Acked, a.id)
+	}
+	if len(res.Acked) == 0 {
+		return res, fmt.Errorf("%w: all %d members failed", ErrNoReplies, len(q))
+	}
+	if c.opts.RequireFullWrite && len(res.Acked) < len(q) {
+		return res, fmt.Errorf("%w: %d/%d acknowledged", ErrPartialWrite, len(res.Acked), len(q))
+	}
+	return res, nil
+}
+
+// ReadResult reports the outcome of a read.
+type ReadResult struct {
+	// Quorum is the access set chosen by the strategy.
+	Quorum []quorum.ServerID
+	// Found reports whether any value passed the mode's acceptance rule.
+	// The masking protocol's ⊥ outcome is Found == false with nil error.
+	Found bool
+	// Value and Stamp are the accepted value-timestamp pair.
+	Value []byte
+	Stamp ts.Stamp
+	// Replies counts servers that answered at all.
+	Replies int
+	// Vouchers counts servers that vouched for the accepted pair.
+	Vouchers int
+	// Discarded counts replies rejected by verification (dissemination) or
+	// left under threshold (masking).
+	Discarded int
+	// Repaired counts quorum members the read pushed the accepted value
+	// back to (only with Options.ReadRepair).
+	Repaired int
+}
+
+// Read performs the mode's read protocol: query every member of a chosen
+// quorum, filter replies by the mode's acceptance rule, return the
+// highest-timestamped survivor.
+func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
+	q := c.pick()
+	type reply struct {
+		id  quorum.ServerID
+		msg wire.ReadReply
+		err error
+	}
+	replies := make(chan reply, len(q))
+	req := wire.ReadRequest{Key: key}
+	for _, id := range q {
+		go func(id quorum.ServerID) {
+			resp, err := c.opts.Transport.Call(ctx, id, req)
+			if err != nil {
+				replies <- reply{id: id, err: err}
+				return
+			}
+			msg, ok := resp.(wire.ReadReply)
+			if !ok {
+				replies <- reply{id: id, err: fmt.Errorf("register: unexpected reply type %T", resp)}
+				return
+			}
+			replies <- reply{id: id, msg: msg}
+		}(id)
+	}
+
+	res := ReadResult{Quorum: q}
+	collected := make([]wire.ReadReply, 0, len(q))
+	byID := make(map[quorum.ServerID]wire.ReadReply, len(q))
+	for range q {
+		r := <-replies
+		if r.err != nil {
+			continue
+		}
+		res.Replies++
+		byID[r.id] = r.msg
+		if r.msg.Found {
+			collected = append(collected, r.msg)
+		}
+	}
+	if res.Replies == 0 {
+		return res, fmt.Errorf("%w: quorum size %d", ErrNoReplies, len(q))
+	}
+
+	switch c.opts.Mode {
+	case Benign:
+		c.selectBenign(&res, collected)
+	case Dissemination:
+		c.selectDissemination(&res, key, collected)
+	case Masking:
+		c.selectMasking(&res, collected)
+	}
+	if res.Found && c.opts.Clock != nil {
+		// A writer that also reads keeps its clock ahead of what it saw.
+		c.opts.Clock.Witness(res.Stamp)
+	}
+	if c.opts.ReadRepair {
+		c.repair(ctx, key, &res, byID)
+	}
+	return res, nil
+}
+
+// selectBenign implements step 3 of the Section 3.1 read protocol: the pair
+// with the highest timestamp.
+func (c *Client) selectBenign(res *ReadResult, replies []wire.ReadReply) {
+	for _, r := range replies {
+		if !res.Found || res.Stamp.Less(r.Stamp) {
+			res.Found = true
+			res.Value = r.Value
+			res.Stamp = r.Stamp
+		}
+	}
+	for _, r := range replies {
+		if res.Found && r.Stamp == res.Stamp && string(r.Value) == string(res.Value) {
+			res.Vouchers++
+		}
+	}
+}
+
+// selectDissemination implements steps 3-4 of the Section 4 read protocol:
+// compute the verifiable subset V', then take the highest timestamp.
+func (c *Client) selectDissemination(res *ReadResult, key string, replies []wire.ReadReply) {
+	for _, r := range replies {
+		if !c.opts.Registry.VerifyEntry(key, r.Value, r.Stamp, r.Sig) {
+			res.Discarded++
+			continue
+		}
+		if !res.Found || res.Stamp.Less(r.Stamp) {
+			res.Found = true
+			res.Value = r.Value
+			res.Stamp = r.Stamp
+		}
+	}
+	for _, r := range replies {
+		if res.Found && r.Stamp == res.Stamp && string(r.Value) == string(res.Value) {
+			res.Vouchers++
+		}
+	}
+}
+
+// selectMasking implements steps 3-4 of the Section 5.2 read protocol:
+// V' = pairs vouched for by at least K members; highest timestamp in V', or
+// ⊥ (Found=false) when V' is empty.
+func (c *Client) selectMasking(res *ReadResult, replies []wire.ReadReply) {
+	type candidate struct {
+		stamp ts.Stamp
+		value string
+	}
+	votes := make(map[candidate]int)
+	for _, r := range replies {
+		votes[candidate{stamp: r.Stamp, value: string(r.Value)}]++
+	}
+	for cand, n := range votes {
+		if n < c.opts.K {
+			res.Discarded += n
+			continue
+		}
+		if !res.Found || res.Stamp.Less(cand.stamp) {
+			res.Found = true
+			res.Value = []byte(cand.value)
+			res.Stamp = cand.stamp
+			res.Vouchers = n
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package register
+
+import (
+	"context"
+	"sync"
+
+	"pqs/internal/quorum"
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+// repair pushes the accepted value-timestamp pair (with its original
+// signature, so self-verifying data stays verifiable) back to the read
+// quorum members that reported something older or nothing. Read repair is
+// the classical complement to lazy diffusion: it heals exactly the servers
+// a read just observed to be stale, shrinking the window in which a second
+// read can miss the value.
+//
+// Repair is valid in benign mode (no adversary) and dissemination mode (the
+// repaired entry carries a verifiable signature, so even a fooled-free read
+// can only propagate genuine data). It must NOT be used in masking mode:
+// there a read that was fooled by k colluders would write the fabricated
+// value into correct servers, converting a transient inconsistency into a
+// persistent one. NewClient enforces this.
+func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply) {
+	if !res.Found {
+		return
+	}
+	var sig []byte
+	for _, r := range byID {
+		if r.Found && r.Stamp == res.Stamp && string(r.Value) == string(res.Value) {
+			sig = r.Sig
+			break
+		}
+	}
+	req := wire.WriteRequest{Key: key, Value: res.Value, Stamp: res.Stamp, Sig: sig}
+	var wg sync.WaitGroup
+	for _, id := range res.Quorum {
+		r, answered := byID[id]
+		if answered && r.Found && !r.Stamp.Less(res.Stamp) {
+			continue // already current
+		}
+		wg.Add(1)
+		go func(id quorum.ServerID) {
+			defer wg.Done()
+			// Best effort: a failed repair changes nothing.
+			_, _ = c.opts.Transport.Call(ctx, id, req)
+		}(id)
+	}
+	wg.Wait()
+	res.Repaired = countRepairTargets(res.Quorum, byID, res.Stamp)
+}
+
+func countRepairTargets(q []quorum.ServerID, byID map[quorum.ServerID]wire.ReadReply, stamp ts.Stamp) int {
+	n := 0
+	for _, id := range q {
+		r, answered := byID[id]
+		if answered && r.Found && !r.Stamp.Less(stamp) {
+			continue
+		}
+		n++
+	}
+	return n
+}

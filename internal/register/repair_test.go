@@ -1,0 +1,144 @@
+package register
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/sv"
+	"pqs/internal/ts"
+)
+
+func storeEntry(v string, counter uint64) replica.Entry {
+	return replica.Entry{Value: []byte(v), Stamp: ts.Stamp{Counter: counter, Writer: 1}}
+}
+
+func storeEntrySig(v []byte, stamp ts.Stamp, sig []byte) replica.Entry {
+	return replica.Entry{Value: v, Stamp: stamp, Sig: sig}
+}
+
+func TestReadRepairHealsStaleMembers(t *testing.T) {
+	c := newCluster(t, 10)
+	// Write to servers 0..4 only by applying entries directly, simulating a
+	// write quorum the read quorum only partially overlaps.
+	for i := 0; i < 5; i++ {
+		c.reps[i].Store().Apply("x", storeEntry("fresh", 7))
+	}
+	full, err := quorum.NewUniform(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(Options{
+		System: full, Mode: Benign, Transport: c.net,
+		Rand:       rand.New(rand.NewSource(1)),
+		ReadRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := cl.Read(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Found || string(rr.Value) != "fresh" {
+		t.Fatalf("read %+v", rr)
+	}
+	if rr.Repaired != 5 {
+		t.Errorf("repaired %d members, want 5", rr.Repaired)
+	}
+	// Every server now holds the value.
+	for i, rep := range c.reps {
+		e, ok := rep.Store().Get("x")
+		if !ok || string(e.Value) != "fresh" {
+			t.Errorf("server %d not repaired: %+v", i, e)
+		}
+	}
+}
+
+func TestReadRepairPreservesSignatures(t *testing.T) {
+	kp, err := sv.GenerateKey(&zeroReader{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := sv.NewRegistry()
+	reg.Add(1, kp.Public)
+
+	c := newCluster(t, 6)
+	stamp := ts.Stamp{Counter: 3, Writer: 1}
+	sig := sv.Sign(kp.Private, "x", []byte("signed"), stamp)
+	for i := 0; i < 3; i++ {
+		c.reps[i].Store().Apply("x", storeEntrySig([]byte("signed"), stamp, sig))
+	}
+	full, err := quorum.NewUniform(6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(Options{
+		System: full, Mode: Dissemination, Transport: c.net,
+		Rand:       rand.New(rand.NewSource(2)),
+		Registry:   reg,
+		ReadRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Read(context.Background(), "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Repaired copies carry the original signature and verify.
+	for i, rep := range c.reps {
+		e, ok := rep.Store().Get("x")
+		if !ok {
+			t.Fatalf("server %d missing entry", i)
+		}
+		if !reg.VerifyEntry("x", e.Value, e.Stamp, e.Sig) {
+			t.Errorf("server %d holds unverifiable repaired entry", i)
+		}
+	}
+}
+
+func TestReadRepairRejectedInMaskingMode(t *testing.T) {
+	c := newCluster(t, 4)
+	full, err := quorum.NewUniform(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewClient(Options{
+		System: full, Mode: Masking, K: 2, Transport: c.net,
+		Rand:       rand.New(rand.NewSource(3)),
+		ReadRepair: true,
+	})
+	if err == nil {
+		t.Fatal("masking + read repair must be rejected")
+	}
+}
+
+func TestReadRepairNoopWhenNothingFound(t *testing.T) {
+	c := newCluster(t, 4)
+	full, err := quorum.NewUniform(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(Options{
+		System: full, Mode: Benign, Transport: c.net,
+		Rand:       rand.New(rand.NewSource(4)),
+		ReadRepair: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := cl.Read(context.Background(), "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Found || rr.Repaired != 0 {
+		t.Errorf("unexpected repair on missing key: %+v", rr)
+	}
+	for i, rep := range c.reps {
+		if rep.Store().Len() != 0 {
+			t.Errorf("server %d store polluted", i)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package register
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// RetryingClient wraps a Client with quorum re-sampling on transient
+// failure, the practical counterpart of the live-quorum-finding ("probing")
+// literature the paper points to in Section 2.1 [PW96, Baz96]: when the
+// chosen quorum turns out to be partially or wholly dead, choose another.
+//
+// Each attempt draws a fresh quorum from the SAME access strategy, so the
+// ε analysis still applies to the attempt that succeeds (uniform
+// conditioned on success remains uniform); the paper's remark about
+// enforcing the strategy is preserved.
+type RetryingClient struct {
+	*Client
+	// Attempts is the maximum number of quorum samples per operation
+	// (>= 1).
+	Attempts int
+}
+
+// NewRetryingClient wraps client with up to attempts quorum samples per
+// operation.
+func NewRetryingClient(client *Client, attempts int) (*RetryingClient, error) {
+	if client == nil {
+		return nil, errors.New("register: client is required")
+	}
+	if attempts < 1 {
+		return nil, fmt.Errorf("register: attempts %d must be >= 1", attempts)
+	}
+	return &RetryingClient{Client: client, Attempts: attempts}, nil
+}
+
+// Write retries the underlying write until a quorum fully acknowledges or
+// attempts are exhausted; the last result and error are returned.
+func (c *RetryingClient) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+	var (
+		res WriteResult
+		err error
+	)
+	for i := 0; i < c.Attempts; i++ {
+		res, err = c.Client.Write(ctx, key, value)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrNoReplies) && !errors.Is(err, ErrPartialWrite) {
+			return res, err
+		}
+		if ctx.Err() != nil {
+			return res, err
+		}
+	}
+	return res, err
+}
+
+// Read retries the underlying read until some quorum member answers or
+// attempts are exhausted.
+func (c *RetryingClient) Read(ctx context.Context, key string) (ReadResult, error) {
+	var (
+		res ReadResult
+		err error
+	)
+	for i := 0; i < c.Attempts; i++ {
+		res, err = c.Client.Read(ctx, key)
+		if err == nil {
+			return res, nil
+		}
+		if !errors.Is(err, ErrNoReplies) {
+			return res, err
+		}
+		if ctx.Err() != nil {
+			return res, err
+		}
+	}
+	return res, err
+}
+
+// Update implements the read-modify-write pattern that extends the
+// single-writer protocol toward multiple writers, following the paper's
+// Section 3.1 pointer to [Lam86, IS92]: read the variable (witnessing the
+// highest timestamp seen, so the local clock dominates it), apply f to the
+// value read, and write the result. With one writer per key this is exactly
+// read-then-write; with several concurrent writers the per-writer tiebreak
+// on timestamps keeps the register's history totally ordered (last writer
+// wins), giving regular-variable-style behavior rather than atomicity —
+// sufficient for the lock and counter patterns the paper's applications
+// use.
+func (c *Client) Update(ctx context.Context, key string, f func(old []byte, found bool) []byte) (WriteResult, error) {
+	r, err := c.Read(ctx, key)
+	if err != nil {
+		return WriteResult{}, fmt.Errorf("register: update read: %w", err)
+	}
+	next := f(r.Value, r.Found)
+	return c.Write(ctx, key, next)
+}

@@ -1,0 +1,165 @@
+package register
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pqs/internal/quorum"
+	"pqs/internal/ts"
+)
+
+func TestRetryingClientValidation(t *testing.T) {
+	c := newCluster(t, 3)
+	cl := benignClient(t, c, majoritySystem(t, 3), 1)
+	if _, err := NewRetryingClient(nil, 3); err == nil {
+		t.Error("nil client accepted")
+	}
+	if _, err := NewRetryingClient(cl, 0); err == nil {
+		t.Error("zero attempts accepted")
+	}
+}
+
+func TestRetryingWriteSurvivesLossyNetwork(t *testing.T) {
+	c := newCluster(t, 9)
+	sys := majoritySystem(t, 9)
+	base, err := NewClient(Options{
+		System: sys, Mode: Benign, Transport: c.net,
+		Rand:  rand.New(rand.NewSource(1)),
+		Clock: ts.NewClock(1), RequireFullWrite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRetryingClient(base, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30% message loss: single attempts of 5-member full-quorum writes
+	// succeed with probability 0.7^5 ≈ 17%, but 50 attempts virtually
+	// always find a fully-acknowledging quorum.
+	c.net.SetDropProb(0.3)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := rc.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("write %d failed despite retries: %v", i, err)
+		}
+	}
+	c.net.SetDropProb(0)
+	rr, err := rc.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Value) != "v19" {
+		t.Errorf("read %+v", rr)
+	}
+}
+
+func TestRetryingReadGivesUpEventually(t *testing.T) {
+	c := newCluster(t, 4)
+	for i := 0; i < 4; i++ {
+		c.net.Crash(quorum.ServerID(i))
+	}
+	base := benignClient(t, c, majoritySystem(t, 4), 1)
+	rc, err := NewRetryingClient(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Read(context.Background(), "x"); !errors.Is(err, ErrNoReplies) {
+		t.Errorf("err = %v, want ErrNoReplies", err)
+	}
+	if _, err := rc.Write(context.Background(), "x", []byte("v")); !errors.Is(err, ErrNoReplies) {
+		t.Errorf("write err = %v, want ErrNoReplies", err)
+	}
+}
+
+func TestRetryingDoesNotMaskRealErrors(t *testing.T) {
+	c := newCluster(t, 3)
+	base, err := NewClient(Options{
+		System: majoritySystem(t, 3), Mode: Benign, Transport: c.net,
+		Rand: rand.New(rand.NewSource(2)),
+		// no clock: writes fail with a non-transient error
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRetryingClient(base, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Write(context.Background(), "x", []byte("v")); err == nil ||
+		errors.Is(err, ErrNoReplies) || errors.Is(err, ErrPartialWrite) {
+		t.Errorf("expected immediate non-transient error, got %v", err)
+	}
+}
+
+func TestUpdateReadModifyWrite(t *testing.T) {
+	c := newCluster(t, 7)
+	sys := majoritySystem(t, 7)
+	cl := benignClient(t, c, sys, 1)
+	ctx := context.Background()
+
+	incr := func(old []byte, found bool) []byte {
+		n := 0
+		if found {
+			fmt.Sscanf(string(old), "%d", &n)
+		}
+		return []byte(fmt.Sprint(n + 1))
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Update(ctx, "counter", incr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rr, err := cl.Read(ctx, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Value) != "10" {
+		t.Errorf("counter = %s, want 10", rr.Value)
+	}
+}
+
+func TestUpdateTwoWritersConverge(t *testing.T) {
+	// Two writers update the same key through read-modify-write; majority
+	// quorums make every read see the latest committed stamp, so stamps
+	// strictly increase and both writers converge to one history.
+	c := newCluster(t, 7)
+	sys := majoritySystem(t, 7)
+	w1 := benignClient(t, c, sys, 1)
+	w2 := benignClient(t, c, sys, 2)
+	ctx := context.Background()
+	appendSelf := func(tag string) func([]byte, bool) []byte {
+		return func(old []byte, _ bool) []byte {
+			return append(append([]byte{}, old...), []byte(tag)...)
+		}
+	}
+	var lastStamp ts.Stamp
+	for i := 0; i < 6; i++ {
+		wr, err := w1.Update(ctx, "log", appendSelf("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lastStamp.Less(wr.Stamp) {
+			t.Fatalf("stamp did not advance: %v then %v", lastStamp, wr.Stamp)
+		}
+		lastStamp = wr.Stamp
+		wr, err = w2.Update(ctx, "log", appendSelf("b"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lastStamp.Less(wr.Stamp) {
+			t.Fatalf("stamp did not advance: %v then %v", lastStamp, wr.Stamp)
+		}
+		lastStamp = wr.Stamp
+	}
+	rr, err := w1.Read(ctx, "log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Value) != "abababababab" {
+		t.Errorf("log = %s", rr.Value)
+	}
+}

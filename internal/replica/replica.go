@@ -1,0 +1,185 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"pqs/internal/quorum"
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+// ErrSuppressed is returned by silent (fail-stop-on-read) behaviors.
+var ErrSuppressed = errors.New("replica: reply suppressed")
+
+// Verifier decides whether an incoming entry is acceptable. Used on the
+// gossip path to keep Byzantine peers from injecting fabricated state when
+// self-verifying data is in use; nil accepts everything (benign model).
+type Verifier func(key string, value []byte, stamp ts.Stamp, sig []byte) bool
+
+// Behavior customizes how a replica answers, enabling Byzantine fault
+// injection. Correct servers use Correct{}.
+type Behavior interface {
+	// OnRead may rewrite the correct reply arbitrarily, or suppress it by
+	// returning an error.
+	OnRead(key string, correct wire.ReadReply) (wire.ReadReply, error)
+	// OnWrite reports whether the write should be applied to the store.
+	// Returning false with nil error acknowledges the write without
+	// performing it (a lying server); returning an error refuses it.
+	OnWrite(req wire.WriteRequest) (bool, error)
+}
+
+// Correct is the specified (non-faulty) behavior.
+type Correct struct{}
+
+// OnRead implements Behavior.
+func (Correct) OnRead(_ string, correct wire.ReadReply) (wire.ReadReply, error) {
+	return correct, nil
+}
+
+// OnWrite implements Behavior.
+func (Correct) OnWrite(wire.WriteRequest) (bool, error) { return true, nil }
+
+// Forger fabricates a value with an overwhelming timestamp on every read and
+// discards writes. Against self-verifying data its replies carry no valid
+// signature, so dissemination readers reject them; against a masking system
+// it is defeated only by the threshold k. Colluding forgers share Value and
+// Stamp so their replies count toward the same candidate.
+type Forger struct {
+	Value []byte
+	Stamp ts.Stamp
+	// Sig, if set, is attached to the forged reply (e.g. a stolen stale
+	// signature, which will not verify against the forged value).
+	Sig []byte
+}
+
+// OnRead implements Behavior.
+func (f Forger) OnRead(_ string, _ wire.ReadReply) (wire.ReadReply, error) {
+	return wire.ReadReply{Found: true, Value: f.Value, Stamp: f.Stamp, Sig: f.Sig}, nil
+}
+
+// OnWrite implements Behavior: acknowledges without storing.
+func (f Forger) OnWrite(wire.WriteRequest) (bool, error) { return false, nil }
+
+// Stale acknowledges writes without applying them, so the replica forever
+// serves whatever it held when the behavior was installed. This models the
+// "old value" adversary, which timestamps alone must defeat.
+type Stale struct{}
+
+// OnRead implements Behavior.
+func (Stale) OnRead(_ string, correct wire.ReadReply) (wire.ReadReply, error) {
+	return correct, nil
+}
+
+// OnWrite implements Behavior.
+func (Stale) OnWrite(wire.WriteRequest) (bool, error) { return false, nil }
+
+// Silent suppresses all replies (reads fail, writes are dropped), modelling
+// a server that is up but mute — indistinguishable from a crash to clients.
+type Silent struct{}
+
+// OnRead implements Behavior.
+func (Silent) OnRead(string, wire.ReadReply) (wire.ReadReply, error) {
+	return wire.ReadReply{}, ErrSuppressed
+}
+
+// OnWrite implements Behavior.
+func (Silent) OnWrite(wire.WriteRequest) (bool, error) { return false, ErrSuppressed }
+
+// Replica is one data server. It implements transport.Handler.
+type Replica struct {
+	id    quorum.ServerID
+	store *Store
+
+	mu       sync.RWMutex
+	behavior Behavior
+	verifier Verifier
+}
+
+// New returns a correct replica with an empty store.
+func New(id quorum.ServerID) *Replica {
+	return &Replica{id: id, store: NewStore(), behavior: Correct{}}
+}
+
+// ID returns the replica's server id.
+func (r *Replica) ID() quorum.ServerID { return r.id }
+
+// Store exposes the replica's local state (used by the diffusion engine and
+// by tests).
+func (r *Replica) Store() *Store { return r.store }
+
+// SetBehavior swaps the replica's behavior (fault injection).
+func (r *Replica) SetBehavior(b Behavior) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b == nil {
+		b = Correct{}
+	}
+	r.behavior = b
+}
+
+// SetVerifier installs the entry verifier used on the gossip merge path.
+func (r *Replica) SetVerifier(v Verifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.verifier = v
+}
+
+func (r *Replica) current() (Behavior, Verifier) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.behavior, r.verifier
+}
+
+// Handle implements transport.Handler.
+func (r *Replica) Handle(_ context.Context, req any) (any, error) {
+	behavior, verifier := r.current()
+	switch m := req.(type) {
+	case wire.ReadRequest:
+		var correct wire.ReadReply
+		if e, ok := r.store.Get(m.Key); ok {
+			correct = wire.ReadReply{Found: true, Value: e.Value, Stamp: e.Stamp, Sig: e.Sig}
+		}
+		return behavior.OnRead(m.Key, correct)
+	case wire.WriteRequest:
+		apply, err := behavior.OnWrite(m)
+		if err != nil {
+			return nil, err
+		}
+		stored := false
+		if apply {
+			stored = r.store.Apply(m.Key, Entry{Value: m.Value, Stamp: m.Stamp, Sig: m.Sig})
+		}
+		return wire.WriteReply{Stored: stored}, nil
+	case wire.GossipRequest:
+		return r.handleGossip(m, verifier), nil
+	case wire.PingRequest:
+		return wire.PingReply{ServerID: int(r.id)}, nil
+	default:
+		return nil, fmt.Errorf("replica %d: unknown request type %T", r.id, req)
+	}
+}
+
+// handleGossip merges the initiator's entries into the local store (subject
+// to the verifier) and returns entries where the local copy dominates or
+// the initiator mentioned nothing.
+func (r *Replica) handleGossip(m wire.GossipRequest, verify Verifier) wire.GossipReply {
+	offered := make(map[string]ts.Stamp, len(m.Entries))
+	for _, e := range m.Entries {
+		offered[e.Key] = e.Stamp
+		if verify != nil && !verify(e.Key, e.Value, e.Stamp, e.Sig) {
+			continue
+		}
+		r.store.Apply(e.Key, Entry{Value: e.Value, Stamp: e.Stamp, Sig: e.Sig})
+	}
+	var reply wire.GossipReply
+	for key, e := range r.store.Snapshot() {
+		if st, ok := offered[key]; ok && !st.Less(e.Stamp) {
+			continue
+		}
+		reply.Entries = append(reply.Entries, wire.Item{Key: key, Value: e.Value, Stamp: e.Stamp, Sig: e.Sig})
+	}
+	return reply
+}

@@ -1,0 +1,244 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+func TestStoreApplyLastWriterWins(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("x"); ok {
+		t.Error("empty store returned a value")
+	}
+	if !s.Apply("x", Entry{Value: []byte("v1"), Stamp: ts.Stamp{Counter: 1}}) {
+		t.Error("first apply rejected")
+	}
+	if !s.Apply("x", Entry{Value: []byte("v2"), Stamp: ts.Stamp{Counter: 2}}) {
+		t.Error("newer apply rejected")
+	}
+	// Older or equal stamps must not regress the value.
+	if s.Apply("x", Entry{Value: []byte("old"), Stamp: ts.Stamp{Counter: 1}}) {
+		t.Error("older apply accepted")
+	}
+	if s.Apply("x", Entry{Value: []byte("dup"), Stamp: ts.Stamp{Counter: 2}}) {
+		t.Error("equal-stamp apply accepted")
+	}
+	e, ok := s.Get("x")
+	if !ok || string(e.Value) != "v2" {
+		t.Errorf("final entry %+v", e)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestStoreSnapshotAndKeys(t *testing.T) {
+	s := NewStore()
+	s.Apply("a", Entry{Value: []byte("1"), Stamp: ts.Stamp{Counter: 1}})
+	s.Apply("b", Entry{Value: []byte("2"), Stamp: ts.Stamp{Counter: 1}})
+	snap := s.Snapshot()
+	if len(snap) != 2 || string(snap["a"].Value) != "1" {
+		t.Errorf("snapshot %+v", snap)
+	}
+	// Mutating the snapshot must not affect the store.
+	snap["a"] = Entry{Value: []byte("oops"), Stamp: ts.Stamp{Counter: 99}}
+	if e, _ := s.Get("a"); string(e.Value) != "1" {
+		t.Error("snapshot aliases store")
+	}
+	if got := s.Keys(); len(got) != 2 {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 200; i++ {
+				s.Apply("x", Entry{Value: []byte{byte(g)}, Stamp: ts.Stamp{Counter: uint64(i), Writer: uint32(g)}})
+				s.Get("x")
+			}
+		}(g)
+	}
+	wg.Wait()
+	e, ok := s.Get("x")
+	if !ok || e.Stamp.Counter != 200 {
+		t.Errorf("final stamp %v", e.Stamp)
+	}
+}
+
+func write(t *testing.T, r *Replica, key, val string, c uint64) wire.WriteReply {
+	t.Helper()
+	resp, err := r.Handle(context.Background(), wire.WriteRequest{
+		Key: key, Value: []byte(val), Stamp: ts.Stamp{Counter: c, Writer: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.(wire.WriteReply)
+}
+
+func read(t *testing.T, r *Replica, key string) (wire.ReadReply, error) {
+	t.Helper()
+	resp, err := r.Handle(context.Background(), wire.ReadRequest{Key: key})
+	if err != nil {
+		return wire.ReadReply{}, err
+	}
+	return resp.(wire.ReadReply), nil
+}
+
+func TestReplicaReadWrite(t *testing.T) {
+	r := New(3)
+	if r.ID() != 3 {
+		t.Errorf("ID = %d", r.ID())
+	}
+	if rep := write(t, r, "x", "hello", 1); !rep.Stored {
+		t.Error("write not stored")
+	}
+	got, err := read(t, r, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Found || string(got.Value) != "hello" || got.Stamp.Counter != 1 {
+		t.Errorf("read = %+v", got)
+	}
+	// Reading a missing key reports Found=false, no error.
+	got, err = read(t, r, "missing")
+	if err != nil || got.Found {
+		t.Errorf("missing key: %+v, %v", got, err)
+	}
+	// Stale write is acknowledged but not stored.
+	write(t, r, "x", "new", 5)
+	if rep := write(t, r, "x", "older", 2); rep.Stored {
+		t.Error("older write stored")
+	}
+}
+
+func TestReplicaPingAndUnknown(t *testing.T) {
+	r := New(7)
+	resp, err := r.Handle(context.Background(), wire.PingRequest{})
+	if err != nil || resp.(wire.PingReply).ServerID != 7 {
+		t.Errorf("ping: %+v, %v", resp, err)
+	}
+	if _, err := r.Handle(context.Background(), struct{ X int }{1}); err == nil {
+		t.Error("unknown request type accepted")
+	}
+}
+
+func TestForgerBehavior(t *testing.T) {
+	r := New(0)
+	write(t, r, "x", "genuine", 1)
+	forged := Forger{Value: []byte("evil"), Stamp: ts.Stamp{Counter: 1 << 40}}
+	r.SetBehavior(forged)
+	got, err := read(t, r, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Value) != "evil" || got.Stamp.Counter != 1<<40 {
+		t.Errorf("forger read = %+v", got)
+	}
+	// Forger discards writes but still acknowledges.
+	rep := write(t, r, "x", "update", 9)
+	if rep.Stored {
+		t.Error("forger claimed to store")
+	}
+	r.SetBehavior(Correct{})
+	got, _ = read(t, r, "x")
+	if string(got.Value) != "genuine" {
+		t.Errorf("store was corrupted by forger: %+v", got)
+	}
+}
+
+func TestStaleBehavior(t *testing.T) {
+	r := New(0)
+	write(t, r, "x", "v1", 1)
+	r.SetBehavior(Stale{})
+	write(t, r, "x", "v2", 2)
+	got, _ := read(t, r, "x")
+	if string(got.Value) != "v1" {
+		t.Errorf("stale replica should still serve v1, got %+v", got)
+	}
+}
+
+func TestSilentBehavior(t *testing.T) {
+	r := New(0)
+	write(t, r, "x", "v1", 1)
+	r.SetBehavior(Silent{})
+	if _, err := read(t, r, "x"); !errors.Is(err, ErrSuppressed) {
+		t.Errorf("silent read err = %v", err)
+	}
+	if _, err := r.Handle(context.Background(), wire.WriteRequest{Key: "x"}); !errors.Is(err, ErrSuppressed) {
+		t.Errorf("silent write err = %v", err)
+	}
+	r.SetBehavior(nil) // nil resets to correct
+	if _, err := read(t, r, "x"); err != nil {
+		t.Errorf("after reset: %v", err)
+	}
+}
+
+func TestGossipMerge(t *testing.T) {
+	a, b := New(0), New(1)
+	a.Store().Apply("x", Entry{Value: []byte("newer"), Stamp: ts.Stamp{Counter: 5, Writer: 1}})
+	a.Store().Apply("only-a", Entry{Value: []byte("A"), Stamp: ts.Stamp{Counter: 1, Writer: 1}})
+	b.Store().Apply("x", Entry{Value: []byte("older"), Stamp: ts.Stamp{Counter: 2, Writer: 1}})
+	b.Store().Apply("only-b", Entry{Value: []byte("B"), Stamp: ts.Stamp{Counter: 1, Writer: 1}})
+
+	// a pushes its state to b; b adopts newer entries and returns what a lacks.
+	var push wire.GossipRequest
+	for k, e := range a.Store().Snapshot() {
+		push.Entries = append(push.Entries, wire.Item{Key: k, Value: e.Value, Stamp: e.Stamp, Sig: e.Sig})
+	}
+	resp, err := b.Handle(context.Background(), push)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := b.Store().Get("x"); string(e.Value) != "newer" {
+		t.Errorf("b did not adopt newer x: %+v", e)
+	}
+	if e, _ := b.Store().Get("only-a"); string(e.Value) != "A" {
+		t.Errorf("b did not adopt only-a: %+v", e)
+	}
+	reply := resp.(wire.GossipReply)
+	found := false
+	for _, item := range reply.Entries {
+		if item.Key == "x" && string(item.Value) == "older" {
+			t.Error("b returned dominated entry")
+		}
+		if item.Key == "only-b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("b did not return only-b")
+	}
+}
+
+func TestGossipVerifierBlocksForgeries(t *testing.T) {
+	r := New(0)
+	r.Store().Apply("x", Entry{Value: []byte("good"), Stamp: ts.Stamp{Counter: 1, Writer: 1}})
+	// Verifier accepts only entries whose sig equals "valid".
+	r.SetVerifier(func(_ string, _ []byte, _ ts.Stamp, sig []byte) bool {
+		return string(sig) == "valid"
+	})
+	push := wire.GossipRequest{Entries: []wire.Item{
+		{Key: "x", Value: []byte("forged"), Stamp: ts.Stamp{Counter: 99, Writer: 1}, Sig: []byte("bogus")},
+		{Key: "y", Value: []byte("legit"), Stamp: ts.Stamp{Counter: 1, Writer: 1}, Sig: []byte("valid")},
+	}}
+	if _, err := r.Handle(context.Background(), push); err != nil {
+		t.Fatal(err)
+	}
+	if e, _ := r.Store().Get("x"); string(e.Value) != "good" {
+		t.Errorf("forged entry accepted: %+v", e)
+	}
+	if e, ok := r.Store().Get("y"); !ok || string(e.Value) != "legit" {
+		t.Errorf("valid entry rejected: %+v", e)
+	}
+}

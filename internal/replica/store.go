@@ -1,0 +1,85 @@
+// Package replica implements the data servers of the paper's model: each
+// server "stores a copy of the replicated variable x and an associated
+// timestamp t" (Section 3.1) and answers the read/write RPCs of the access
+// protocols. Fault injection is first-class: a replica can be configured
+// with a Behavior that deviates arbitrarily from the protocol, which is how
+// the experiment harness realizes the paper's Byzantine failure model.
+package replica
+
+import (
+	"sync"
+
+	"pqs/internal/ts"
+)
+
+// Entry is one stored value-timestamp pair, with the writer's signature when
+// self-verifying data is in use.
+type Entry struct {
+	Value []byte
+	Stamp ts.Stamp
+	Sig   []byte
+}
+
+// Store is a replica's local key-value state. It is safe for concurrent use.
+type Store struct {
+	mu sync.RWMutex
+	m  map[string]Entry
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: make(map[string]Entry)}
+}
+
+// Get returns the entry for key, if any.
+func (s *Store) Get(key string) (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.m[key]
+	return e, ok
+}
+
+// Apply adopts the entry if its stamp strictly dominates the stored one
+// (last-writer-wins merge; the standard timestamped-register update). It
+// reports whether the entry was adopted.
+func (s *Store) Apply(key string, e Entry) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.m[key]
+	if ok && !cur.Stamp.Less(e.Stamp) {
+		return false
+	}
+	s.m[key] = e
+	return true
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Keys returns all stored keys (unordered).
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Snapshot returns a copy of the full key-entry map. Entries share the
+// underlying value slices, which callers must treat as immutable (every
+// write path in this library stores fresh slices).
+func (s *Store) Snapshot() map[string]Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]Entry, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,317 @@
+// Package sim is the Monte-Carlo harness that validates the paper's
+// analytic results against the actual protocol implementation: it stands up
+// clusters of replicas on the simulated network, injects crash and
+// Byzantine failures, drives the register client, and measures
+//
+//   - empirical consistency error (the ε of Theorems 3.2, 4.2 and 5.2),
+//   - empirical per-server load (Definition 2.4), and
+//   - empirical availability (failure probability, Definition 2.6).
+//
+// Every measurement is deterministic given its seed.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pqs/internal/quorum"
+	"pqs/internal/register"
+	"pqs/internal/replica"
+	"pqs/internal/sv"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+)
+
+// Cluster is a set of replicas on a simulated network.
+type Cluster struct {
+	Net      *transport.MemNetwork
+	Replicas []*replica.Replica
+}
+
+// NewCluster builds n correct replicas on a fresh simulated network.
+func NewCluster(n int, seed int64) *Cluster {
+	c := &Cluster{Net: transport.NewMemNetwork(seed)}
+	for i := 0; i < n; i++ {
+		r := replica.New(quorum.ServerID(i))
+		c.Replicas = append(c.Replicas, r)
+		c.Net.Register(quorum.ServerID(i), r)
+	}
+	return c
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return len(c.Replicas) }
+
+// ConsistencyConfig drives MeasureConsistency.
+type ConsistencyConfig struct {
+	// System is the quorum system under test (carrier + strategy).
+	System quorum.System
+	// Mode selects the protocol; K is the masking threshold.
+	Mode register.Mode
+	K    int
+	// B Byzantine servers (ids 0..B-1) are installed for Dissemination and
+	// Masking modes: forgers colluding on a fabricated value with an
+	// overwhelming timestamp (the strongest adversary the analysis covers,
+	// since timestamp order decides among accepted candidates). Ignored in
+	// Benign mode.
+	B int
+	// Trials is the number of independent write-then-read experiments.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// ConsistencyResult summarizes a consistency measurement.
+type ConsistencyResult struct {
+	Trials int
+	// Correct counts reads that returned the last written value.
+	Correct int
+	// Stale counts reads that returned an older genuine value or found
+	// nothing.
+	Stale int
+	// Fooled counts reads that returned a fabricated value.
+	Fooled int
+	// Rate is the empirical failure probability (1 - Correct/Trials): the
+	// quantity Theorems 3.2/4.2/5.2 bound by ε.
+	Rate float64
+}
+
+// MeasureConsistency runs write-then-read trials (reads never concurrent
+// with writes, matching the theorems' premise) and reports how often the
+// read missed the last written value.
+func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
+	if cfg.Trials <= 0 {
+		return ConsistencyResult{}, errors.New("sim: Trials must be positive")
+	}
+	if cfg.System == nil {
+		return ConsistencyResult{}, errors.New("sim: System is required")
+	}
+	n := cfg.System.N()
+	cluster := NewCluster(n, cfg.Seed)
+
+	opts := register.Options{
+		System:    cfg.System,
+		Mode:      cfg.Mode,
+		K:         cfg.K,
+		Transport: cluster.Net,
+		Rand:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:     ts.NewClock(1),
+	}
+
+	forgedValue := []byte("\x00fabricated")
+	switch cfg.Mode {
+	case register.Benign:
+	case register.Dissemination:
+		kp, err := sv.GenerateKey(seededReader(cfg.Seed + 2))
+		if err != nil {
+			return ConsistencyResult{}, err
+		}
+		reg := sv.NewRegistry()
+		reg.Add(1, kp.Public)
+		opts.Signer = kp.Private
+		opts.Registry = reg
+		installForgers(cluster, cfg.B, forgedValue)
+	case register.Masking:
+		installForgers(cluster, cfg.B, forgedValue)
+	default:
+		return ConsistencyResult{}, fmt.Errorf("sim: unsupported mode %v", cfg.Mode)
+	}
+
+	client, err := register.NewClient(opts)
+	if err != nil {
+		return ConsistencyResult{}, err
+	}
+
+	ctx := context.Background()
+	res := ConsistencyResult{Trials: cfg.Trials}
+	for i := 0; i < cfg.Trials; i++ {
+		key := fmt.Sprintf("k%d", i)
+		want := fmt.Sprintf("v%d", i)
+		if _, err := client.Write(ctx, key, []byte(want)); err != nil {
+			return res, fmt.Errorf("sim: trial %d write: %w", i, err)
+		}
+		rr, err := client.Read(ctx, key)
+		if err != nil {
+			return res, fmt.Errorf("sim: trial %d read: %w", i, err)
+		}
+		switch {
+		case rr.Found && string(rr.Value) == want:
+			res.Correct++
+		case rr.Found && string(rr.Value) == string(forgedValue):
+			res.Fooled++
+		default:
+			res.Stale++
+		}
+	}
+	res.Rate = 1 - float64(res.Correct)/float64(res.Trials)
+	return res, nil
+}
+
+// installForgers makes servers 0..b-1 collude on a fabricated value with an
+// overwhelming timestamp.
+func installForgers(c *Cluster, b int, value []byte) {
+	forged := replica.Forger{
+		Value: value,
+		Stamp: ts.Stamp{Counter: math.MaxUint64 / 2, Writer: 0xFFFF},
+		Sig:   []byte("no-valid-signature"),
+	}
+	for i := 0; i < b && i < len(c.Replicas); i++ {
+		c.Replicas[i].SetBehavior(forged)
+	}
+}
+
+// seededReader is a deterministic entropy source for reproducible keys.
+type seededReader int64
+
+func (s seededReader) Read(p []byte) (int, error) {
+	r := rand.New(rand.NewSource(int64(s)))
+	for i := range p {
+		p[i] = byte(r.Intn(256))
+	}
+	return len(p), nil
+}
+
+// LoadResult summarizes an empirical load measurement.
+type LoadResult struct {
+	// Trials is the number of quorums sampled.
+	Trials int
+	// MaxRate is the access frequency of the busiest server: the empirical
+	// load L_w(Q) of Definition 2.4.
+	MaxRate float64
+	// MeanRate is the average access frequency, E|Q|/n.
+	MeanRate float64
+	// PerServer is each server's access frequency.
+	PerServer []float64
+}
+
+// MeasureLoad samples quorums under the system's strategy and reports
+// per-server access frequencies.
+func MeasureLoad(sys quorum.System, trials int, seed int64) (LoadResult, error) {
+	if trials <= 0 {
+		return LoadResult{}, errors.New("sim: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	counts := make([]int, sys.N())
+	for i := 0; i < trials; i++ {
+		for _, id := range sys.Pick(rng) {
+			counts[id]++
+		}
+	}
+	res := LoadResult{Trials: trials, PerServer: make([]float64, sys.N())}
+	var sum float64
+	for i, c := range counts {
+		f := float64(c) / float64(trials)
+		res.PerServer[i] = f
+		sum += f
+		if f > res.MaxRate {
+			res.MaxRate = f
+		}
+	}
+	res.MeanRate = sum / float64(sys.N())
+	return res, nil
+}
+
+// MeasureAvailability estimates the failure probability F_p by sampling
+// crash patterns (each server down independently with probability p) and
+// checking for a live quorum. The system must implement quorum.LiveChecker.
+func MeasureAvailability(sys quorum.System, p float64, trials int, seed int64) (float64, error) {
+	checker, ok := sys.(quorum.LiveChecker)
+	if !ok {
+		return 0, fmt.Errorf("sim: %s does not support live-quorum checking", sys.Name())
+	}
+	if trials <= 0 {
+		return 0, errors.New("sim: trials must be positive")
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("sim: crash probability %v outside [0,1]", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := sys.N()
+	crashed := make([]bool, n)
+	failures := 0
+	for t := 0; t < trials; t++ {
+		for i := range crashed {
+			crashed[i] = rng.Float64() < p
+		}
+		if !checker.LiveQuorumExists(func(id quorum.ServerID) bool { return crashed[id] }) {
+			failures++
+		}
+	}
+	return float64(failures) / float64(trials), nil
+}
+
+// CrashConsistencyConfig drives MeasureConsistencyUnderCrashes: benign-mode
+// consistency where a random fraction of servers crash between the write
+// and the read. This exercises the interplay of availability and
+// consistency that motivates fault tolerance A = n - q + 1.
+type CrashConsistencyConfig struct {
+	System quorum.System
+	// CrashP is each server's independent crash probability after the write.
+	CrashP float64
+	Trials int
+	Seed   int64
+}
+
+// CrashConsistencyResult summarizes MeasureConsistencyUnderCrashes.
+type CrashConsistencyResult struct {
+	Trials int
+	// Correct, Stale: as in ConsistencyResult.
+	Correct int
+	Stale   int
+	// Unavailable counts trials where the read got no replies at all.
+	Unavailable int
+	Rate        float64
+}
+
+// MeasureConsistencyUnderCrashes writes, crashes servers with probability
+// CrashP, then reads (best effort). Crashed quorum members simply do not
+// reply; the read works with what answers.
+func MeasureConsistencyUnderCrashes(cfg CrashConsistencyConfig) (CrashConsistencyResult, error) {
+	if cfg.Trials <= 0 {
+		return CrashConsistencyResult{}, errors.New("sim: Trials must be positive")
+	}
+	n := cfg.System.N()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := CrashConsistencyResult{Trials: cfg.Trials}
+	ctx := context.Background()
+	for i := 0; i < cfg.Trials; i++ {
+		cluster := NewCluster(n, cfg.Seed+int64(i))
+		client, err := register.NewClient(register.Options{
+			System:    cfg.System,
+			Mode:      register.Benign,
+			Transport: cluster.Net,
+			Rand:      rand.New(rand.NewSource(cfg.Seed + int64(i)*31 + 7)),
+			Clock:     ts.NewClock(1),
+		})
+		if err != nil {
+			return res, err
+		}
+		key, want := "x", fmt.Sprintf("v%d", i)
+		if _, err := client.Write(ctx, key, []byte(want)); err != nil {
+			return res, fmt.Errorf("sim: trial %d write: %w", i, err)
+		}
+		for id := 0; id < n; id++ {
+			if rng.Float64() < cfg.CrashP {
+				cluster.Net.Crash(quorum.ServerID(id))
+			}
+		}
+		rr, err := client.Read(ctx, key)
+		switch {
+		case errors.Is(err, register.ErrNoReplies):
+			res.Unavailable++
+			continue
+		case err != nil:
+			return res, fmt.Errorf("sim: trial %d read: %w", i, err)
+		}
+		if rr.Found && string(rr.Value) == want {
+			res.Correct++
+		} else {
+			res.Stale++
+		}
+	}
+	res.Rate = 1 - float64(res.Correct)/float64(res.Trials)
+	return res, nil
+}

@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"pqs/internal/quorum"
+	"pqs/internal/wire"
+)
+
+// TCPServer serves a Handler over a TCP listener using gob-encoded
+// wire.Envelope frames. Each accepted connection is multiplexed: requests
+// are handled concurrently and replies are written back tagged with the
+// request id, so a single client connection can have many calls in flight.
+type TCPServer struct {
+	handler  Handler
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ListenTCP starts serving h on addr (e.g. "127.0.0.1:0"). Close shuts the
+// server down and waits for connection goroutines to finish.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	wire.RegisterGob()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{handler: h, listener: l, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address, useful with port 0.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+// Close stops the listener, closes open connections and waits for all
+// server goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var writeMu sync.Mutex
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		var env wire.Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		reqWG.Add(1)
+		go func(env wire.Envelope) {
+			defer reqWG.Done()
+			resp, err := s.handler.Handle(context.Background(), env.Payload)
+			reply := wire.ReplyEnvelope{ID: env.ID, Payload: resp}
+			if err != nil {
+				reply.Err = err.Error()
+				reply.Payload = nil
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			// An encode error means the connection is going away; the
+			// decode loop will observe it and exit.
+			_ = enc.Encode(&reply)
+		}(env)
+	}
+}
+
+// TCPClient implements Transport over TCP. It maintains one multiplexed
+// connection per server, established lazily and re-dialed after failures.
+type TCPClient struct {
+	addrs map[quorum.ServerID]string
+
+	mu     sync.Mutex
+	conns  map[quorum.ServerID]*tcpConn
+	closed bool
+	nextID atomic.Uint64
+}
+
+// NewTCPClient returns a client that reaches server id at addrs[id].
+func NewTCPClient(addrs map[quorum.ServerID]string) *TCPClient {
+	wire.RegisterGob()
+	cp := make(map[quorum.ServerID]string, len(addrs))
+	for id, a := range addrs {
+		cp[id] = a
+	}
+	return &TCPClient{addrs: cp, conns: make(map[quorum.ServerID]*tcpConn)}
+}
+
+var _ Transport = (*TCPClient)(nil)
+
+// Call implements Transport.
+func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
+	conn, err := c.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch, err := conn.send(id, req)
+	if err != nil {
+		c.evict(to, conn)
+		return nil, err
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			c.evict(to, conn)
+			return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
+		}
+		if r.Err != "" {
+			return nil, fmt.Errorf("server %d: %s", to, r.Err)
+		}
+		return r.Payload, nil
+	case <-ctx.Done():
+		conn.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+// Close closes all connections. Subsequent calls fail.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	var first error
+	for id, conn := range c.conns {
+		if err := conn.close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.conns, id)
+	}
+	return first
+}
+
+func (c *TCPClient) conn(to quorum.ServerID) (*tcpConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if conn, ok := c.conns[to]; ok {
+		return conn, nil
+	}
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("server %d: %w", to, ErrUnknownServer)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server %d: %w", to, err)
+	}
+	conn := newTCPConn(raw)
+	c.conns[to] = conn
+	return conn, nil
+}
+
+func (c *TCPClient) evict(to quorum.ServerID, conn *tcpConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conns[to] == conn {
+		delete(c.conns, to)
+	}
+	conn.close()
+}
+
+// tcpConn is one multiplexed client connection.
+type tcpConn struct {
+	raw net.Conn
+	enc *gob.Encoder
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.ReplyEnvelope
+	closed  bool
+}
+
+func newTCPConn(raw net.Conn) *tcpConn {
+	c := &tcpConn{
+		raw:     raw,
+		enc:     gob.NewEncoder(raw),
+		pending: make(map[uint64]chan wire.ReplyEnvelope),
+	}
+	go c.readLoop()
+	return c
+}
+
+func (c *tcpConn) send(id uint64, req any) (chan wire.ReplyEnvelope, error) {
+	ch := make(chan wire.ReplyEnvelope, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := c.enc.Encode(&wire.Envelope{ID: id, Payload: req})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	return ch, nil
+}
+
+func (c *tcpConn) abandon(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}
+
+func (c *tcpConn) readLoop() {
+	dec := gob.NewDecoder(c.raw)
+	for {
+		var reply wire.ReplyEnvelope
+		if err := dec.Decode(&reply); err != nil {
+			c.failAll()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reply.ID]
+		delete(c.pending, reply.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- reply
+		}
+	}
+}
+
+// failAll closes the connection and wakes every pending caller with a
+// closed channel.
+func (c *tcpConn) failAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.raw.Close()
+}
+
+func (c *tcpConn) close() error {
+	c.failAll()
+	return nil
+}
+
+// IsTransient reports whether err is a transport-level failure that a
+// client protocol may treat as a missing reply from one server (rather
+// than a protocol violation): crashes, drops, partitions, closed
+// transports, timeouts and network errors.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrCrashed) || errors.Is(err, ErrDropped) ||
+		errors.Is(err, ErrPartitioned) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return true
+	}
+	var netErr net.Error
+	return errors.As(err, &netErr)
+}

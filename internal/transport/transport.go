@@ -1,0 +1,219 @@
+// Package transport connects quorum clients to replica servers.
+//
+// Two implementations are provided. MemNetwork is an in-process simulated
+// network with injectable latency, message loss, partitions and server
+// crashes; it is the substrate for the experiment harness, exactly as the
+// paper's analysis assumes an abstract message-passing system. TCPClient and
+// TCPServer (tcp.go) carry the same messages over real sockets for
+// deployments.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pqs/internal/quorum"
+)
+
+// Common transport errors. Callers match them with errors.Is.
+var (
+	// ErrUnknownServer indicates a call to a server id with no registered
+	// handler or address.
+	ErrUnknownServer = errors.New("transport: unknown server")
+	// ErrCrashed indicates the destination server is crashed (simulated).
+	ErrCrashed = errors.New("transport: server crashed")
+	// ErrDropped indicates the simulated network lost the request or reply.
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrPartitioned indicates the caller and destination are in different
+	// partition groups.
+	ErrPartitioned = errors.New("transport: network partitioned")
+	// ErrClosed indicates the transport has been closed.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Handler is the server side of the transport: replicas implement it.
+type Handler interface {
+	Handle(ctx context.Context, req any) (any, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, req any) (any, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx context.Context, req any) (any, error) { return f(ctx, req) }
+
+// Transport is the client side: it delivers one request to one server and
+// returns its response.
+type Transport interface {
+	Call(ctx context.Context, to quorum.ServerID, req any) (any, error)
+}
+
+// MemNetwork is a simulated network hosting any number of in-process
+// servers. The zero value is not usable; construct with NewMemNetwork.
+// All configuration methods are safe for concurrent use with Call.
+type MemNetwork struct {
+	mu        sync.RWMutex
+	handlers  map[quorum.ServerID]Handler
+	crashed   map[quorum.ServerID]bool
+	groups    map[quorum.ServerID]int // partition group per server; default 0
+	dropProb  float64
+	minLat    time.Duration
+	maxLat    time.Duration
+	rngMu     sync.Mutex
+	rng       *rand.Rand
+	callGroup int // partition group of direct Call users (clients)
+}
+
+// NewMemNetwork returns an empty simulated network. seed fixes the fault
+// randomness so that experiments are reproducible.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		handlers: make(map[quorum.ServerID]Handler),
+		crashed:  make(map[quorum.ServerID]bool),
+		groups:   make(map[quorum.ServerID]int),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a server handler under the given id, replacing any
+// previous registration.
+func (n *MemNetwork) Register(id quorum.ServerID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Crash marks a server as crashed: calls to it fail with ErrCrashed.
+func (n *MemNetwork) Crash(id quorum.ServerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Recover clears a server's crashed state.
+func (n *MemNetwork) Recover(id quorum.ServerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// CrashedCount returns the number of currently crashed servers.
+func (n *MemNetwork) CrashedCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.crashed)
+}
+
+// SetDropProb sets the probability that any single call is lost.
+func (n *MemNetwork) SetDropProb(p float64) {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("transport: drop probability %v outside [0,1]", p))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropProb = p
+}
+
+// SetLatency sets the uniform per-call latency range. Zero disables
+// simulated delay.
+func (n *MemNetwork) SetLatency(min, max time.Duration) {
+	if min < 0 || max < min {
+		panic("transport: invalid latency range")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.minLat, n.maxLat = min, max
+}
+
+// SetPartition assigns servers to partition groups. Calls between different
+// groups fail with ErrPartitioned. Servers not mentioned stay in group 0.
+func (n *MemNetwork) SetPartition(groups map[quorum.ServerID]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[quorum.ServerID]int, len(groups))
+	for id, g := range groups {
+		n.groups[id] = g
+	}
+}
+
+// ClearPartition heals all partitions.
+func (n *MemNetwork) ClearPartition() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.groups = make(map[quorum.ServerID]int)
+}
+
+// SetCallerGroup places direct callers of Call (clients) into a partition
+// group; the default group is 0.
+func (n *MemNetwork) SetCallerGroup(g int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.callGroup = g
+}
+
+// Call implements Transport. The call observes, in order: partition state,
+// crash state, simulated loss, simulated latency, then the server handler.
+// Simulated loss surfaces promptly as ErrDropped rather than stalling until
+// the context deadline, which keeps large experiments fast; production
+// callers treat ErrDropped like a timeout.
+func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
+	n.mu.RLock()
+	h, ok := n.handlers[to]
+	crashed := n.crashed[to]
+	drop := n.dropProb
+	minLat, maxLat := n.minLat, n.maxLat
+	sameGroup := n.groups[to] == n.callGroup
+	n.mu.RUnlock()
+
+	if !ok {
+		return nil, fmt.Errorf("server %d: %w", to, ErrUnknownServer)
+	}
+	if !sameGroup {
+		return nil, fmt.Errorf("server %d: %w", to, ErrPartitioned)
+	}
+	if crashed {
+		return nil, fmt.Errorf("server %d: %w", to, ErrCrashed)
+	}
+	if drop > 0 && n.flip(drop) {
+		return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
+	}
+	if maxLat > 0 {
+		if err := n.sleep(ctx, minLat, maxLat); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return h.Handle(ctx, req)
+}
+
+// flip returns true with probability p using the network's seeded rng.
+func (n *MemNetwork) flip(p float64) bool {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < p
+}
+
+func (n *MemNetwork) sleep(ctx context.Context, min, max time.Duration) error {
+	d := min
+	if max > min {
+		n.rngMu.Lock()
+		d += time.Duration(n.rng.Int63n(int64(max - min + 1)))
+		n.rngMu.Unlock()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var _ Transport = (*MemNetwork)(nil)

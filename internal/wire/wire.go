@@ -1,0 +1,102 @@
+// Package wire defines the messages exchanged between clients and replica
+// servers: the read and write RPCs of the paper's access protocols
+// (Sections 3.1, 4 and 5.2) plus the push-pull messages of the diffusion
+// mechanism (Section 1.1). Both transports carry these types; the TCP
+// transport additionally gob-encodes them, which is why RegisterGob exists.
+package wire
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"pqs/internal/ts"
+)
+
+// ReadRequest asks a server for its current copy of a key.
+type ReadRequest struct {
+	Key string
+}
+
+// ReadReply carries one server's value-timestamp pair (the paper's
+// ⟨v_u, t_u⟩). Sig is empty in benign deployments and carries the writer's
+// ed25519 signature when self-verifying data is in use.
+type ReadReply struct {
+	Found bool
+	Value []byte
+	Stamp ts.Stamp
+	Sig   []byte
+}
+
+// WriteRequest installs a value-timestamp pair at a server.
+type WriteRequest struct {
+	Key   string
+	Value []byte
+	Stamp ts.Stamp
+	Sig   []byte
+}
+
+// WriteReply acknowledges a write. Stored reports whether the server adopted
+// the value (false when it already held a later timestamp for the key).
+type WriteReply struct {
+	Stored bool
+}
+
+// Item is one replicated entry as exchanged by the diffusion protocol.
+type Item struct {
+	Key   string
+	Value []byte
+	Stamp ts.Stamp
+	Sig   []byte
+}
+
+// GossipRequest is a push-pull anti-entropy round: the initiator sends a
+// sample of its entries and asks for anything the peer holds with a newer
+// timestamp.
+type GossipRequest struct {
+	Entries []Item
+}
+
+// GossipReply returns the entries the peer holds that dominate what the
+// initiator sent (or that the initiator did not mention).
+type GossipReply struct {
+	Entries []Item
+}
+
+// PingRequest probes server liveness.
+type PingRequest struct{}
+
+// PingReply answers a ping.
+type PingReply struct {
+	ServerID int
+}
+
+// Envelope frames a request on the TCP transport.
+type Envelope struct {
+	ID      uint64
+	Payload any
+}
+
+// ReplyEnvelope frames a response on the TCP transport. Err is the
+// server-side error text, empty on success.
+type ReplyEnvelope struct {
+	ID      uint64
+	Payload any
+	Err     string
+}
+
+var registerOnce sync.Once
+
+// RegisterGob registers every wire message with encoding/gob. Safe to call
+// multiple times; the TCP transport calls it on construction.
+func RegisterGob() {
+	registerOnce.Do(func() {
+		gob.Register(ReadRequest{})
+		gob.Register(ReadReply{})
+		gob.Register(WriteRequest{})
+		gob.Register(WriteReply{})
+		gob.Register(GossipRequest{})
+		gob.Register(GossipReply{})
+		gob.Register(PingRequest{})
+		gob.Register(PingReply{})
+	})
+}

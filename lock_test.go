@@ -1,0 +1,102 @@
+package pqs
+
+import (
+	"context"
+	"testing"
+)
+
+func lockFixture(t *testing.T) (*LockService, *LockService) {
+	t.Helper()
+	// Majority-sized quorums make the lock deterministic for unit testing;
+	// the probabilistic behavior is covered by the voting example and the
+	// sim package.
+	sys, err := New(Config{N: 15, Q: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewLocalCluster(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := NewClient(ClientConfig{System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewClient(ClientConfig{System: sys, Transport: cluster.Transport(), WriterID: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := NewLockService(c1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLockService(c2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l1, l2
+}
+
+func TestLockAcquireReleaseCycle(t *testing.T) {
+	l1, l2 := lockFixture(t)
+	ctx := context.Background()
+
+	ok, err := l1.TryAcquire(ctx, "res", "alice")
+	if err != nil || !ok {
+		t.Fatalf("acquire: %v %v", ok, err)
+	}
+	// Same owner reacquires; different owner is refused.
+	if ok, _ := l1.TryAcquire(ctx, "res", "alice"); !ok {
+		t.Error("reacquire by holder failed")
+	}
+	if ok, _ := l2.TryAcquire(ctx, "res", "bob"); ok {
+		t.Error("second owner acquired a held lock")
+	}
+	holder, held, err := l2.Holder(ctx, "res")
+	if err != nil || !held || holder != "alice" {
+		t.Errorf("holder = %q %v %v", holder, held, err)
+	}
+	// Wrong owner cannot release.
+	if ok, _ := l2.Release(ctx, "res", "bob"); ok {
+		t.Error("non-holder released the lock")
+	}
+	if ok, err := l1.Release(ctx, "res", "alice"); err != nil || !ok {
+		t.Fatalf("release: %v %v", ok, err)
+	}
+	// Now bob can take it.
+	if ok, _ := l2.TryAcquire(ctx, "res", "bob"); !ok {
+		t.Error("acquire after release failed")
+	}
+}
+
+func TestLockReleaseUnheld(t *testing.T) {
+	l1, _ := lockFixture(t)
+	ctx := context.Background()
+	if ok, err := l1.Release(ctx, "never-locked", "anyone"); err != nil || !ok {
+		t.Errorf("releasing a free lock should be a no-op success: %v %v", ok, err)
+	}
+	if _, held, _ := l1.Holder(ctx, "never-locked"); held {
+		t.Error("free lock reported held")
+	}
+}
+
+func TestLockValidation(t *testing.T) {
+	if _, err := NewLockService(nil, ""); err == nil {
+		t.Error("nil client accepted")
+	}
+	l1, _ := lockFixture(t)
+	if _, err := l1.TryAcquire(context.Background(), "res", ""); err == nil {
+		t.Error("empty owner accepted")
+	}
+}
+
+func TestLockNamespacesAreIndependent(t *testing.T) {
+	l1, _ := lockFixture(t)
+	ctx := context.Background()
+	if ok, _ := l1.TryAcquire(ctx, "a", "alice"); !ok {
+		t.Fatal("acquire a")
+	}
+	if ok, _ := l1.TryAcquire(ctx, "b", "bob"); !ok {
+		t.Error("lock on a blocked lock on b")
+	}
+}

@@ -1,0 +1,143 @@
+package pqs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pqs/internal/diffusion"
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+)
+
+// Server is one replica served over TCP (see ListenAndServe).
+type Server struct {
+	srv *transport.TCPServer
+	rep *replica.Replica
+
+	mu         sync.Mutex
+	gossipStop context.CancelFunc
+	gossipDone chan struct{}
+	gossipTC   *transport.TCPClient
+}
+
+// ListenAndServe starts a replica with the given server id on addr
+// (host:port; use port 0 to pick a free port). The returned Server reports
+// its bound address via Addr and is shut down with Close.
+func ListenAndServe(id int, addr string) (*Server, error) {
+	if id < 0 {
+		return nil, fmt.Errorf("pqs: server id %d must be non-negative", id)
+	}
+	rep := replica.New(quorum.ServerID(id))
+	srv, err := transport.ListenTCP(addr, rep)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{srv: srv, rep: rep}, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.srv.Addr() }
+
+// Close stops the server (and its diffusion engine, if started) and waits
+// for in-flight requests.
+func (s *Server) Close() error {
+	s.StopDiffusion()
+	return s.srv.Close()
+}
+
+// MakeByzantine turns the replica into a colluding forger (see
+// LocalCluster.MakeByzantine); used to exercise Byzantine scenarios over
+// real sockets.
+func (s *Server) MakeByzantine(forgedValue []byte) {
+	s.rep.SetBehavior(replica.Forger{
+		Value: forgedValue,
+		Stamp: ts.Stamp{Counter: 1 << 62, Writer: 0xFFFFFFFF},
+		Sig:   []byte("forged"),
+	})
+}
+
+// MakeCorrect restores correct behavior.
+func (s *Server) MakeCorrect() { s.rep.SetBehavior(replica.Correct{}) }
+
+// StartDiffusion launches a background epidemic anti-entropy engine on this
+// server: every interval it push-pulls state with fanout random peers over
+// TCP (Section 1.1's lazy update propagation, as a deployment would run it
+// inside each pqsd). peers maps server ids (including possibly this one,
+// which is skipped) to addresses. Stop with StopDiffusion or Close.
+func (s *Server) StartDiffusion(peers map[int]string, fanout int, interval time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gossipStop != nil {
+		return fmt.Errorf("pqs: diffusion already running")
+	}
+	addrs := make(map[quorum.ServerID]string, len(peers))
+	ids := make([]quorum.ServerID, 0, len(peers))
+	for id, a := range peers {
+		addrs[quorum.ServerID(id)] = a
+		ids = append(ids, quorum.ServerID(id))
+	}
+	tc := transport.NewTCPClient(addrs)
+	eng, err := diffusion.NewEngine(diffusion.Config{
+		Self:      s.rep.ID(),
+		Peers:     ids,
+		Transport: tc,
+		Store:     s.rep.Store(),
+		Fanout:    fanout,
+		Interval:  interval,
+		Rand:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(s.rep.ID()))),
+	})
+	if err != nil {
+		tc.Close()
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	s.gossipStop = cancel
+	s.gossipDone = done
+	s.gossipTC = tc
+	go func() {
+		defer close(done)
+		eng.Run(ctx)
+	}()
+	return nil
+}
+
+// StopDiffusion stops a running diffusion engine; it is a no-op when none
+// is running.
+func (s *Server) StopDiffusion() {
+	s.mu.Lock()
+	stop, done, tc := s.gossipStop, s.gossipDone, s.gossipTC
+	s.gossipStop, s.gossipDone, s.gossipTC = nil, nil, nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	stop()
+	<-done
+	tc.Close()
+}
+
+// Dial returns a Transport that reaches replica id at addrs[id] over TCP.
+// Connections are established lazily, multiplexed, and re-dialed after
+// failures. Close the returned client when done.
+func Dial(addrs map[int]string) (*TCPClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("pqs: no replica addresses given")
+	}
+	m := make(map[quorum.ServerID]string, len(addrs))
+	for id, a := range addrs {
+		if id < 0 {
+			return nil, fmt.Errorf("pqs: server id %d must be non-negative", id)
+		}
+		m[quorum.ServerID(id)] = a
+	}
+	return transport.NewTCPClient(m), nil
+}
+
+// TCPClient is the TCP-backed Transport returned by Dial.
+type TCPClient = transport.TCPClient
