@@ -1,0 +1,34 @@
+# Tier-1 verification and developer shortcuts. CI (.github/workflows/ci.yml)
+# runs `make ci` on every push.
+
+GO ?= go
+
+.PHONY: all build test vet race tier1 ci bench bench-tail
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/
+
+# tier1 is the repository's acceptance gate: it must pass from a clean
+# checkout.
+tier1: build test
+
+ci: vet tier1 race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The straggler-tolerance headline numbers: wait-for-all vs hedged p50/p99,
+# and the empirical-ε validation with hedging enabled.
+bench-tail:
+	$(GO) test -run 'XXX' -bench 'ReadTailLatency|EpsilonBenignHedged|EpsilonMaskingHedged' -benchtime 2s .

@@ -13,8 +13,10 @@ package pqs_test
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"strconv"
 	"testing"
+	"time"
 
 	"pqs"
 	"pqs/internal/analysis"
@@ -272,6 +274,141 @@ func BenchmarkProtocolReadMasking(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// newTailLatencyCluster builds the tail-latency fixture: the paper's n=100,
+// ε ≤ 1e-3 construction on a simulated network with latency skew — a fast
+// floor of 0.2-1ms, ten 25ms stragglers and one crashed server — and a
+// client configured with the given straggler-tolerance knobs.
+func newTailLatencyCluster(b *testing.B, spares int, hedge time.Duration, eager bool) *pqs.Client {
+	b.Helper()
+	sys, err := pqs.New(pqs.Config{N: 100, Epsilon: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := pqs.NewLocalCluster(sys.N(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := pqs.NewClient(pqs.ClientConfig{
+		System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 2,
+		Spares: spares, HedgeDelay: hedge, EagerRead: eager,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := client.Write(context.Background(), "bench", []byte("value")); err != nil {
+		b.Fatal(err)
+	}
+	cluster.SetLatency(200*time.Microsecond, time.Millisecond)
+	for id := 0; id < 10; id++ {
+		cluster.SetServerLatency(id, 25*time.Millisecond, 25*time.Millisecond)
+	}
+	cluster.Crash(10)
+	return client
+}
+
+// benchReadTail runs reads against the tail-latency fixture and reports the
+// p50 and p99 read latency in milliseconds.
+func benchReadTail(b *testing.B, client *pqs.Client) {
+	b.Helper()
+	ctx := context.Background()
+	durs := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := client.Read(ctx, "bench"); err != nil {
+			b.Fatal(err)
+		}
+		durs = append(durs, time.Since(start))
+	}
+	b.StopTimer()
+	client.WaitDrained()
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(durs)-1))
+		return float64(durs[idx]) / float64(time.Millisecond)
+	}
+	b.ReportMetric(pct(0.50), "p50-ms")
+	b.ReportMetric(pct(0.99), "p99-ms")
+	b.ReportMetric(0, "ns/op") // the percentiles are the headline numbers
+}
+
+// BenchmarkReadTailLatencyBaseline is the wait-for-all read under latency
+// skew: nearly every quorum samples a straggler, so p50 and p99 sit at the
+// straggler's 25ms.
+func BenchmarkReadTailLatencyBaseline(b *testing.B) {
+	client := newTailLatencyCluster(b, 0, 0, false)
+	benchReadTail(b, client)
+}
+
+// BenchmarkReadTailLatencyHedged is the same cluster read with oversampled
+// access sets (8 spares, 1ms hedge) and early-threshold completion: the read
+// returns at quorum-size replies from the fast members and promoted spares,
+// leaving stragglers to the background drain.
+func BenchmarkReadTailLatencyHedged(b *testing.B) {
+	client := newTailLatencyCluster(b, 8, time.Millisecond, true)
+	benchReadTail(b, client)
+}
+
+// BenchmarkEmpiricalEpsilonBenignHedged re-validates Theorem 3.2 with the
+// straggler-tolerant access path switched on: eager reads, spare promotion
+// forced by a 5% message-drop rate, full protocol stack. The observed
+// non-intersection rate must stay within the construction's closed-form
+// bound e^{-ℓ²}, demonstrating that failure-triggered spare promotion
+// preserves the ε analysis; the bench fails otherwise.
+func BenchmarkEmpiricalEpsilonBenignHedged(b *testing.B) {
+	e, err := core.NewEpsilonIntersecting(36, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 1500
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.MeasureConsistency(sim.ConsistencyConfig{
+			System: e, Mode: register.Benign, Trials: trials, Seed: int64(i) + 1,
+			Spares: 3, EagerRead: true, DropProb: 0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.Rate
+		if rate > e.EpsilonBound() {
+			b.Fatalf("hedged empirical eps %.4f exceeds bound %.4f", rate, e.EpsilonBound())
+		}
+	}
+	b.ReportMetric(rate, "eps-empirical")
+	b.ReportMetric(e.Epsilon(), "eps-exact")
+	b.ReportMetric(e.EpsilonBound(), "eps-bound")
+}
+
+// BenchmarkEmpiricalEpsilonMaskingHedged re-validates Theorem 5.2 with
+// colluding forgers AND the eager masking read (return once no rival can
+// reach the K threshold) plus drop-forced spare promotion. The fooled+stale
+// rate must stay within the masking bound; the bench fails otherwise.
+func BenchmarkEmpiricalEpsilonMaskingHedged(b *testing.B) {
+	m, err := core.NewMasking(36, 18, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 1500
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.MeasureConsistency(sim.ConsistencyConfig{
+			System: m, Mode: register.Masking, K: m.K(), B: 3, Trials: trials, Seed: int64(i) + 1,
+			Spares: 3, EagerRead: true, DropProb: 0.03,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rate = res.Rate
+		if rate > m.EpsilonBound() {
+			b.Fatalf("hedged empirical eps %.4f exceeds bound %.4f", rate, m.EpsilonBound())
+		}
+	}
+	b.ReportMetric(rate, "eps-empirical")
+	b.ReportMetric(m.Epsilon(), "eps-exact")
+	b.ReportMetric(m.EpsilonBound(), "eps-bound")
 }
 
 // BenchmarkQuorumPick measures the access strategy sampler.

@@ -3,6 +3,7 @@ package pqs
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
@@ -50,6 +51,17 @@ func (c *LocalCluster) Recover(id int) { c.net.Recover(quorum.ServerID(id)) }
 // SetDropProb makes the simulated network lose each message with
 // probability p.
 func (c *LocalCluster) SetDropProb(p float64) { c.net.SetDropProb(p) }
+
+// SetLatency gives every call a uniformly random latency in [min, max],
+// the substrate for tail-latency experiments. Zero max disables delay.
+func (c *LocalCluster) SetLatency(min, max time.Duration) { c.net.SetLatency(min, max) }
+
+// SetServerLatency overrides the latency range of a single server, turning
+// it into a straggler (or a fast path). A zero max restores the global
+// range for that server.
+func (c *LocalCluster) SetServerLatency(id int, min, max time.Duration) {
+	c.net.SetServerLatency(quorum.ServerID(id), min, max)
+}
 
 // MakeByzantine turns server id into a colluding forger: it fabricates the
 // given value with an overwhelming timestamp on reads and drops writes.

@@ -1,0 +1,3 @@
+module pqs
+
+go 1.24

@@ -60,15 +60,7 @@ func SampleK(r *rand.Rand, n, k int) []ServerID {
 	if k < 0 || k > n {
 		panic(fmt.Sprintf("quorum: SampleK(%d, %d) outside domain", n, k))
 	}
-	perm := make([]ServerID, n)
-	for i := range perm {
-		perm[i] = ServerID(i)
-	}
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(n-i)
-		perm[i], perm[j] = perm[j], perm[i]
-	}
-	out := perm[:k:k]
+	out := SampleKUnsorted(r, n, k)
 	sortIDs(out)
 	return out
 }

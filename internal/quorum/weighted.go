@@ -104,18 +104,8 @@ func (w *Weighted) QuorumSize() int { return w.estSize }
 // Pick implements System: a uniformly random permutation's shortest prefix
 // reaching the vote threshold.
 func (w *Weighted) Pick(r *rand.Rand) []ServerID {
-	perm := r.Perm(len(w.votes))
-	got := 0
-	var out []ServerID
-	for _, i := range perm {
-		out = append(out, ServerID(i))
-		got += w.votes[i]
-		if got >= w.t {
-			break
-		}
-	}
-	sortIDs(out)
-	return out
+	q, _ := w.PickWithSpares(r, 0)
+	return q
 }
 
 // Load implements System: the seeded Monte-Carlo estimate of the busiest

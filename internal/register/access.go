@@ -1,0 +1,216 @@
+package register
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"pqs/internal/quorum"
+)
+
+// This file implements the straggler-tolerant access engine shared by Read
+// and Write: it dispatches one RPC per access-set member, promotes spare
+// servers when a member fails or a hedge delay elapses, and returns as soon
+// as the caller's completion rule is decidable, leaving stragglers to a
+// background drain that can never leak goroutines (every in-flight call owns
+// one goroutine that terminates when its transport call returns, and the
+// reply channel is buffered for every call that can ever be dispatched, so
+// senders never block).
+//
+// Promotion preserves the attempt-level ε argument documented on
+// RetryingClient and quorum.SpareSampler: a spare is dispatched only when a
+// member has observably failed or when a hedge timer — independent of server
+// identity — fires, so the access set that completes is the strategy's
+// sample conditioned on liveness, the same conditioning a full re-sample
+// performs, at a fraction of the latency.
+
+// callReply carries one server's response through the gather loop.
+type callReply struct {
+	id   quorum.ServerID
+	resp any
+	err  error
+}
+
+// gatherSpec parameterizes one gather run.
+type gatherSpec struct {
+	req    any
+	quorum []quorum.ServerID
+	spares []quorum.ServerID
+	// onOK consumes a successful reply in arrival order (called from the
+	// gather goroutine, so no locking is needed). Returning a non-nil error
+	// reclassifies the reply as a failure, triggering spare promotion.
+	onOK func(id quorum.ServerID, resp any) error
+	// decided, when non-nil, is checked after every accepted reply; a true
+	// return completes the gather immediately, leaving outstanding calls to
+	// the drain.
+	decided func(ok, outstanding int) bool
+}
+
+// gatherOutcome reports a gather run.
+type gatherOutcome struct {
+	ok       int
+	errs     map[quorum.ServerID]error
+	promoted int
+	early    bool
+	leftover int
+	ctxErr   error
+	ch       <-chan callReply
+}
+
+// gather runs the access engine. It returns when the completion rule is
+// decidable, when every dispatched call has resolved, or when ctx is done.
+func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
+	total := len(spec.quorum) + len(spec.spares)
+	ch := make(chan callReply, total)
+	dispatch := func(id quorum.ServerID) {
+		go func() {
+			resp, err := c.opts.Transport.Call(ctx, id, spec.req)
+			ch <- callReply{id: id, resp: resp, err: err}
+		}()
+	}
+	for _, id := range spec.quorum {
+		dispatch(id)
+	}
+	out := gatherOutcome{errs: make(map[quorum.ServerID]error), ch: ch}
+	outstanding := len(spec.quorum)
+	next := 0
+	promote := func() bool {
+		if next >= len(spec.spares) {
+			return false
+		}
+		dispatch(spec.spares[next])
+		next++
+		outstanding++
+		out.promoted++
+		c.statPromoted.Add(1)
+		return true
+	}
+	var hedge *time.Timer
+	var hedgeC <-chan time.Time
+	if c.opts.HedgeDelay > 0 && len(spec.spares) > 0 {
+		hedge = time.NewTimer(c.opts.HedgeDelay)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+	for outstanding > 0 {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil && spec.onOK != nil {
+				r.err = spec.onOK(r.id, r.resp)
+			}
+			if r.err != nil {
+				out.errs[r.id] = r.err
+				promote()
+				continue
+			}
+			out.ok++
+			if spec.decided != nil && spec.decided(out.ok, outstanding) {
+				out.early = outstanding > 0
+				out.leftover = outstanding
+				if out.early {
+					c.statEarly.Add(1)
+				}
+				return out
+			}
+		case <-hedgeC:
+			if promote() {
+				hedge.Reset(c.opts.HedgeDelay)
+			} else {
+				hedgeC = nil // spares exhausted; stop hedging
+			}
+		case <-ctx.Done():
+			out.leftover = outstanding
+			out.ctxErr = ctx.Err()
+			return out
+		}
+	}
+	return out
+}
+
+// drain consumes the replies still in flight when a gather completed early,
+// from a background goroutine tracked by WaitDrained. onLate, when non-nil,
+// sees each late reply (successful or failed) in arrival order. The late
+// calls run on the operation's context: a caller that cancels it after the
+// operation returns also aborts the stragglers (normal cancellation
+// semantics), in which case there is nothing to drain but errors — only
+// successful late replies count toward AccessStats.LateReplies.
+func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
+	if out.leftover == 0 {
+		return
+	}
+	c.drainWG.Add(1)
+	go func() {
+		defer c.drainWG.Done()
+		for i := 0; i < out.leftover; i++ {
+			r := <-out.ch
+			if r.err == nil {
+				c.statLate.Add(1)
+			}
+			if onLate != nil {
+				onLate(r)
+			}
+		}
+	}()
+}
+
+// pickWithSpares samples one access set plus the configured number of
+// spares under the client's strategy.
+func (c *Client) pickWithSpares() (q, spares []quorum.ServerID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.opts.Spares > 0 {
+		if ss, ok := c.opts.System.(quorum.SpareSampler); ok {
+			return ss.PickWithSpares(c.rng, c.opts.Spares)
+		}
+	}
+	return c.opts.System.Pick(c.rng), nil
+}
+
+// spareCapable reports whether sys can supply spares.
+func spareCapable(sys quorum.System) bool {
+	_, ok := sys.(quorum.SpareSampler)
+	return ok
+}
+
+// AccessStats counts straggler-tolerance events over a client's lifetime.
+// All counters are cumulative and safe to read concurrently via Stats.
+type AccessStats struct {
+	// SparesPromoted is the number of spare servers dispatched, whether
+	// triggered by member failure or by hedge-delay expiry.
+	SparesPromoted uint64
+	// EarlyCompletions counts operations that returned at their completion
+	// threshold while calls were still outstanding.
+	EarlyCompletions uint64
+	// LateReplies counts successful replies delivered to the background
+	// drain after the operation had already returned. Calls aborted by the
+	// caller cancelling the operation's context are not counted.
+	LateReplies uint64
+	// LateRepairs counts read-repair writes pushed to servers whose replies
+	// arrived after an eager read returned.
+	LateRepairs uint64
+}
+
+// Stats returns a snapshot of the client's straggler-tolerance counters.
+func (c *Client) Stats() AccessStats {
+	return AccessStats{
+		SparesPromoted:   c.statPromoted.Load(),
+		EarlyCompletions: c.statEarly.Load(),
+		LateReplies:      c.statLate.Load(),
+		LateRepairs:      c.statLateRepairs.Load(),
+	}
+}
+
+// WaitDrained blocks until every background drain spawned by completed
+// operations has finished. Call it with no operations in flight (e.g. at
+// shutdown, or in tests that assert on Stats or goroutine counts).
+func (c *Client) WaitDrained() { c.drainWG.Wait() }
+
+// counters live on Client (register.go); typed here for proximity to the
+// engine that updates them.
+type accessCounters struct {
+	statPromoted    atomic.Uint64
+	statEarly       atomic.Uint64
+	statLate        atomic.Uint64
+	statLateRepairs atomic.Uint64
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"pqs/internal/quorum"
 	"pqs/internal/sv"
@@ -94,6 +95,44 @@ type Options struct {
 	// Benign and Dissemination modes; rejected in Masking mode, where a
 	// fooled read must not persist a fabricated value onto correct servers.
 	ReadRepair bool
+
+	// Spares is the number of extra servers sampled alongside every access
+	// set (oversampling). A spare is dispatched ("promoted") when a member's
+	// call fails, or each time HedgeDelay elapses without the operation
+	// completing. Requires System to implement quorum.SpareSampler.
+	//
+	// Promotion preserves the attempt-level ε argument documented on
+	// RetryingClient: spares are drawn by the same strategy and promoted
+	// only on observed failure or on an identity-blind timer, so the access
+	// set that completes is the strategy's sample conditioned on liveness —
+	// the same conditioning a full re-sample performs. With spares in play,
+	// RequireFullWrite is satisfied by quorum-size acknowledgements, whether
+	// they came from original members or promoted spares.
+	Spares int
+	// HedgeDelay, when positive, promotes one spare each time this delay
+	// elapses before the operation completes (latency hedging). Zero means
+	// spares are promoted only on observed member failure.
+	HedgeDelay time.Duration
+	// EagerRead makes Read return as soon as the mode's acceptance rule is
+	// decidable instead of waiting for every dispatched call:
+	//
+	//   - Benign: quorum-size replies collected;
+	//   - Dissemination: quorum-size replies plus at least one verified one;
+	//   - Masking: some pair holds K vouchers and no rival (seen or unseen)
+	//     can still reach K with the replies outstanding.
+	//
+	// Remaining replies are drained in the background (see Stats and
+	// WaitDrained); with ReadRepair set, late stale repliers are repaired
+	// from the drain as well.
+	EagerRead bool
+	// W, when between 1 and the quorum size, completes Write as soon as W
+	// members acknowledged, leaving the rest to the background drain. Zero
+	// (or RequireFullWrite) keeps the default: wait for the full access set.
+	// W below the quorum size trades a further ε degradation for latency,
+	// exactly as best-effort writes already do; the calls already in flight
+	// keep delivering the write to the remaining members as long as the
+	// operation's context stays live (cancelling it aborts them).
+	W int
 }
 
 // Client reads and writes a replicated variable through quorums.
@@ -104,6 +143,9 @@ type Client struct {
 
 	mu  sync.Mutex // guards rand (rand.Rand is not goroutine safe)
 	rng *rand.Rand
+
+	accessCounters
+	drainWG sync.WaitGroup
 }
 
 // NewClient validates the option combination and returns a client.
@@ -133,6 +175,18 @@ func NewClient(opts Options) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("register: unknown mode %d", opts.Mode)
 	}
+	if opts.Spares < 0 {
+		return nil, fmt.Errorf("register: Spares %d must be non-negative", opts.Spares)
+	}
+	if opts.Spares > 0 && !spareCapable(opts.System) {
+		return nil, fmt.Errorf("register: system %s cannot supply spares (no quorum.SpareSampler)", opts.System.Name())
+	}
+	if opts.HedgeDelay < 0 {
+		return nil, fmt.Errorf("register: HedgeDelay %v must be non-negative", opts.HedgeDelay)
+	}
+	if opts.W < 0 {
+		return nil, fmt.Errorf("register: W %d must be non-negative", opts.W)
+	}
 	return &Client{opts: opts, rng: opts.Rand}, nil
 }
 
@@ -142,33 +196,34 @@ func (c *Client) Mode() Mode { return c.opts.Mode }
 // System returns the client's quorum system.
 func (c *Client) System() quorum.System { return c.opts.System }
 
-// pick samples a quorum under the client's strategy.
-func (c *Client) pick() []quorum.ServerID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.opts.System.Pick(c.rng)
-}
-
 // WriteResult reports the outcome of a write.
 type WriteResult struct {
 	// Quorum is the access set chosen by the strategy.
 	Quorum []quorum.ServerID
-	// Acked lists the members that acknowledged.
+	// Acked lists the members (or promoted spares) that acknowledged before
+	// the write completed; late acknowledgements land in Stats.
 	Acked []quorum.ServerID
 	// Errs maps failed members to their errors.
 	Errs map[quorum.ServerID]error
 	// Stamp is the timestamp assigned to this write.
 	Stamp ts.Stamp
+	// Promoted counts spares dispatched during this write.
+	Promoted int
+	// Early reports whether the write returned at its completion threshold
+	// while calls were still outstanding (drained in the background).
+	Early bool
 }
 
 // Write performs the Section 3.1 write protocol: choose a quorum, choose a
 // timestamp greater than any previous one, install the value at every
-// member. The value slice is not retained.
+// member. The value slice is not retained. With Options.W set, the write
+// completes at W acknowledgements; with Options.Spares, failed or lagging
+// members are hedged with spare servers.
 func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
 	if c.opts.Clock == nil {
 		return WriteResult{}, errors.New("register: client has no clock; cannot write")
 	}
-	q := c.pick()
+	q, spares := c.pickWithSpares()
 	stamp := c.opts.Clock.Next()
 	val := make([]byte, len(value))
 	copy(val, value)
@@ -178,27 +233,29 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 	}
 	req := wire.WriteRequest{Key: key, Value: val, Stamp: stamp, Sig: sig}
 
-	res := WriteResult{Quorum: q, Stamp: stamp, Errs: make(map[quorum.ServerID]error)}
-	type ack struct {
-		id  quorum.ServerID
-		err error
+	res := WriteResult{Quorum: q, Stamp: stamp}
+	target := len(q)
+	if !c.opts.RequireFullWrite && c.opts.W > 0 && c.opts.W < target {
+		target = c.opts.W
 	}
-	acks := make(chan ack, len(q))
-	for _, id := range q {
-		go func(id quorum.ServerID) {
-			_, err := c.opts.Transport.Call(ctx, id, req)
-			acks <- ack{id: id, err: err}
-		}(id)
-	}
-	for range q {
-		a := <-acks
-		if a.err != nil {
-			res.Errs[a.id] = a.err
-			continue
-		}
-		res.Acked = append(res.Acked, a.id)
-	}
+	out := c.gather(ctx, gatherSpec{
+		req:    req,
+		quorum: q,
+		spares: spares,
+		onOK: func(id quorum.ServerID, _ any) error {
+			res.Acked = append(res.Acked, id)
+			return nil
+		},
+		decided: func(ok, _ int) bool { return ok >= target },
+	})
+	res.Errs = out.errs
+	res.Promoted = out.promoted
+	res.Early = out.early
+	c.drain(out, nil) // late acks still improve durability; count them
 	if len(res.Acked) == 0 {
+		if out.ctxErr != nil {
+			return res, out.ctxErr
+		}
 		return res, fmt.Errorf("%w: all %d members failed", ErrNoReplies, len(q))
 	}
 	if c.opts.RequireFullWrite && len(res.Acked) < len(q) {
@@ -227,51 +284,115 @@ type ReadResult struct {
 	// Repaired counts quorum members the read pushed the accepted value
 	// back to (only with Options.ReadRepair).
 	Repaired int
+	// Promoted counts spares dispatched during this read.
+	Promoted int
+	// Early reports whether the read returned at its mode's completion
+	// threshold while calls were still outstanding (drained in the
+	// background).
+	Early bool
+}
+
+// voteKey identifies a value-timestamp candidate in the masking vote count.
+type voteKey struct {
+	stamp ts.Stamp
+	value string
+}
+
+// maskDecided reports whether the Section 5.2 acceptance rule is already
+// decidable: some candidate holds at least k vouchers, and no rival with a
+// higher timestamp — seen (current vouchers + outstanding < k) or unseen
+// (outstanding < k) — can still reach the threshold.
+func maskDecided(votes map[voteKey]int, k, outstanding int) bool {
+	if k < 1 || outstanding >= k {
+		return false
+	}
+	var best voteKey
+	found := false
+	for cand, n := range votes {
+		if n >= k && (!found || best.stamp.Less(cand.stamp)) {
+			best, found = cand, true
+		}
+	}
+	if !found {
+		return false
+	}
+	for cand, n := range votes {
+		if best.stamp.Less(cand.stamp) && n+outstanding >= k {
+			return false
+		}
+	}
+	return true
 }
 
 // Read performs the mode's read protocol: query every member of a chosen
 // quorum, filter replies by the mode's acceptance rule, return the
-// highest-timestamped survivor.
+// highest-timestamped survivor. With Options.EagerRead it returns as soon
+// as the acceptance rule is decidable; with Options.Spares, failed or
+// lagging members are hedged with spare servers.
 func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
-	q := c.pick()
-	type reply struct {
-		id  quorum.ServerID
-		msg wire.ReadReply
-		err error
-	}
-	replies := make(chan reply, len(q))
+	q, spares := c.pickWithSpares()
 	req := wire.ReadRequest{Key: key}
-	for _, id := range q {
-		go func(id quorum.ServerID) {
-			resp, err := c.opts.Transport.Call(ctx, id, req)
-			if err != nil {
-				replies <- reply{id: id, err: err}
-				return
-			}
-			msg, ok := resp.(wire.ReadReply)
-			if !ok {
-				replies <- reply{id: id, err: fmt.Errorf("register: unexpected reply type %T", resp)}
-				return
-			}
-			replies <- reply{id: id, msg: msg}
-		}(id)
-	}
 
 	res := ReadResult{Quorum: q}
 	collected := make([]wire.ReadReply, 0, len(q))
 	byID := make(map[quorum.ServerID]wire.ReadReply, len(q))
-	for range q {
-		r := <-replies
-		if r.err != nil {
-			continue
-		}
-		res.Replies++
-		byID[r.id] = r.msg
-		if r.msg.Found {
-			collected = append(collected, r.msg)
+	verified := 0
+	var collectedOK []bool    // parallel to collected (Dissemination only)
+	var votes map[voteKey]int // vote tally shared by maskDecided and selectMasking
+	if c.opts.Mode == Masking {
+		votes = make(map[voteKey]int)
+	}
+	target := len(q)
+	var decided func(ok, outstanding int) bool
+	if c.opts.EagerRead {
+		decided = func(ok, outstanding int) bool {
+			switch c.opts.Mode {
+			case Benign:
+				return ok >= target
+			case Dissemination:
+				return ok >= target && verified > 0
+			case Masking:
+				return maskDecided(votes, c.opts.K, outstanding)
+			}
+			return false
 		}
 	}
+	out := c.gather(ctx, gatherSpec{
+		req:    req,
+		quorum: q,
+		spares: spares,
+		onOK: func(id quorum.ServerID, resp any) error {
+			msg, ok := resp.(wire.ReadReply)
+			if !ok {
+				return fmt.Errorf("register: unexpected reply type %T", resp)
+			}
+			res.Replies++
+			byID[id] = msg
+			if msg.Found {
+				collected = append(collected, msg)
+				switch c.opts.Mode {
+				case Dissemination:
+					// Verify once, here; the selection step reuses the result.
+					ok := c.opts.Registry.VerifyEntry(key, msg.Value, msg.Stamp, msg.Sig)
+					collectedOK = append(collectedOK, ok)
+					if ok {
+						verified++
+					}
+				case Masking:
+					votes[voteKey{stamp: msg.Stamp, value: string(msg.Value)}]++
+				}
+			}
+			return nil
+		},
+		decided: decided,
+	})
+	res.Promoted = out.promoted
+	res.Early = out.early
 	if res.Replies == 0 {
+		c.drain(out, nil)
+		if out.ctxErr != nil {
+			return res, out.ctxErr
+		}
 		return res, fmt.Errorf("%w: quorum size %d", ErrNoReplies, len(q))
 	}
 
@@ -279,17 +400,18 @@ func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
 	case Benign:
 		c.selectBenign(&res, collected)
 	case Dissemination:
-		c.selectDissemination(&res, key, collected)
+		c.selectDissemination(&res, collected, collectedOK)
 	case Masking:
-		c.selectMasking(&res, collected)
+		c.selectMasking(&res, votes)
 	}
 	if res.Found && c.opts.Clock != nil {
 		// A writer that also reads keeps its clock ahead of what it saw.
 		c.opts.Clock.Witness(res.Stamp)
 	}
 	if c.opts.ReadRepair {
-		c.repair(ctx, key, &res, byID)
+		c.repair(ctx, key, &res, byID, out.errs, out.leftover > 0)
 	}
+	c.drain(out, c.lateReadHandler(ctx, key, &res, byID))
 	return res, nil
 }
 
@@ -312,9 +434,11 @@ func (c *Client) selectBenign(res *ReadResult, replies []wire.ReadReply) {
 
 // selectDissemination implements steps 3-4 of the Section 4 read protocol:
 // compute the verifiable subset V', then take the highest timestamp.
-func (c *Client) selectDissemination(res *ReadResult, key string, replies []wire.ReadReply) {
-	for _, r := range replies {
-		if !c.opts.Registry.VerifyEntry(key, r.Value, r.Stamp, r.Sig) {
+// verified[i] carries the signature check already performed on replies[i]
+// when it was collected.
+func (c *Client) selectDissemination(res *ReadResult, replies []wire.ReadReply, verified []bool) {
+	for i, r := range replies {
+		if !verified[i] {
 			res.Discarded++
 			continue
 		}
@@ -333,16 +457,9 @@ func (c *Client) selectDissemination(res *ReadResult, key string, replies []wire
 
 // selectMasking implements steps 3-4 of the Section 5.2 read protocol:
 // V' = pairs vouched for by at least K members; highest timestamp in V', or
-// ⊥ (Found=false) when V' is empty.
-func (c *Client) selectMasking(res *ReadResult, replies []wire.ReadReply) {
-	type candidate struct {
-		stamp ts.Stamp
-		value string
-	}
-	votes := make(map[candidate]int)
-	for _, r := range replies {
-		votes[candidate{stamp: r.Stamp, value: string(r.Value)}]++
-	}
+// ⊥ (Found=false) when V' is empty. votes is the tally Read accumulated
+// while collecting replies.
+func (c *Client) selectMasking(res *ReadResult, votes map[voteKey]int) {
 	for cand, n := range votes {
 		if n < c.opts.K {
 			res.Discarded += n

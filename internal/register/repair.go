@@ -5,7 +5,6 @@ import (
 	"sync"
 
 	"pqs/internal/quorum"
-	"pqs/internal/ts"
 	"pqs/internal/wire"
 )
 
@@ -22,7 +21,7 @@ import (
 // there a read that was fooled by k colluders would write the fabricated
 // value into correct servers, converting a transient inconsistency into a
 // persistent one. NewClient enforces this.
-func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply) {
+func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply, errs map[quorum.ServerID]error, inFlight bool) {
 	if !res.Found {
 		return
 	}
@@ -33,13 +32,10 @@ func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID m
 			break
 		}
 	}
+	targets := repairTargets(res, byID, errs, inFlight)
 	req := wire.WriteRequest{Key: key, Value: res.Value, Stamp: res.Stamp, Sig: sig}
 	var wg sync.WaitGroup
-	for _, id := range res.Quorum {
-		r, answered := byID[id]
-		if answered && r.Found && !r.Stamp.Less(res.Stamp) {
-			continue // already current
-		}
+	for _, id := range targets {
 		wg.Add(1)
 		go func(id quorum.ServerID) {
 			defer wg.Done()
@@ -48,17 +44,81 @@ func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID m
 		}(id)
 	}
 	wg.Wait()
-	res.Repaired = countRepairTargets(res.Quorum, byID, res.Stamp)
+	res.Repaired = len(targets)
 }
 
-func countRepairTargets(q []quorum.ServerID, byID map[quorum.ServerID]wire.ReadReply, stamp ts.Stamp) int {
-	n := 0
-	for _, id := range q {
+// repairTargets lists the servers the synchronous repair pass pushes to:
+// access-set members that answered stale (or nothing, if their call already
+// failed or everything has resolved), plus promoted spares observed stale.
+// Members whose replies are still in flight (inFlight covers both eager
+// returns and context-cancelled gathers) are left to the background drain's
+// lateReadHandler, so repair never re-introduces the straggler wait the
+// eager read just avoided and never targets members whose calls merely
+// have not resolved yet.
+func repairTargets(res *ReadResult, byID map[quorum.ServerID]wire.ReadReply, errs map[quorum.ServerID]error, inFlight bool) []quorum.ServerID {
+	var targets []quorum.ServerID
+	for _, id := range res.Quorum {
 		r, answered := byID[id]
-		if answered && r.Found && !r.Stamp.Less(stamp) {
+		switch {
+		case answered:
+			if r.Found && !r.Stamp.Less(res.Stamp) {
+				continue // already current
+			}
+			targets = append(targets, id)
+		default:
+			if _, failed := errs[id]; failed || !inFlight {
+				targets = append(targets, id)
+			}
+		}
+	}
+	for id, r := range byID {
+		if quorum.Contains(res.Quorum, id) {
 			continue
 		}
-		n++
+		if r.Found && !r.Stamp.Less(res.Stamp) {
+			continue
+		}
+		targets = append(targets, id)
 	}
-	return n
+	return targets
+}
+
+// lateReadHandler returns the background-drain hook for a completed read:
+// it inspects replies that arrive after an eager read returned and, when
+// read repair is enabled and the read accepted a value, pushes that value
+// (with its original signature) to late repliers observed stale. The late
+// read itself still runs on the operation's context (cancelling it aborts
+// the straggler and there is nothing to repair); only the repair write is
+// detached, so a reply that does arrive is healed even if the caller
+// cancels between the reply and the repair. The drain goroutine remains
+// bounded by the late calls already in flight.
+func (c *Client) lateReadHandler(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply) func(callReply) {
+	if !c.opts.ReadRepair || !res.Found {
+		return nil
+	}
+	value, stamp := res.Value, res.Stamp
+	var sig []byte
+	for _, r := range byID {
+		if r.Found && r.Stamp == stamp && string(r.Value) == string(value) {
+			sig = r.Sig
+			break
+		}
+	}
+	req := wire.WriteRequest{Key: key, Value: value, Stamp: stamp, Sig: sig}
+	rctx := context.WithoutCancel(ctx)
+	return func(r callReply) {
+		if r.err != nil {
+			return
+		}
+		msg, ok := r.resp.(wire.ReadReply)
+		if !ok {
+			return
+		}
+		if msg.Found && !msg.Stamp.Less(stamp) {
+			return // already current
+		}
+		if _, err := c.opts.Transport.Call(rctx, r.id, req); err == nil {
+			c.statLateRepairs.Add(1)
+		}
+	}
 }

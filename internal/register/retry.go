@@ -42,14 +42,20 @@ func (c *RetryingClient) Write(ctx context.Context, key string, value []byte) (W
 		err error
 	)
 	for i := 0; i < c.Attempts; i++ {
+		// Bail out before burning an attempt on a context that is already
+		// cancelled: dispatching a fresh quorum sample would only produce
+		// doomed calls.
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return res, err
+		}
 		res, err = c.Client.Write(ctx, key, value)
 		if err == nil {
 			return res, nil
 		}
 		if !errors.Is(err, ErrNoReplies) && !errors.Is(err, ErrPartialWrite) {
-			return res, err
-		}
-		if ctx.Err() != nil {
 			return res, err
 		}
 	}
@@ -64,14 +70,19 @@ func (c *RetryingClient) Read(ctx context.Context, key string) (ReadResult, erro
 		err error
 	)
 	for i := 0; i < c.Attempts; i++ {
+		// As in Write: check for cancellation before sampling a new quorum,
+		// not after the attempt has already been spent.
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return res, err
+		}
 		res, err = c.Client.Read(ctx, key)
 		if err == nil {
 			return res, nil
 		}
 		if !errors.Is(err, ErrNoReplies) {
-			return res, err
-		}
-		if ctx.Err() != nil {
 			return res, err
 		}
 	}

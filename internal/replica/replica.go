@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"pqs/internal/quorum"
 	"pqs/internal/ts"
@@ -75,6 +76,35 @@ func (Stale) OnRead(_ string, correct wire.ReadReply) (wire.ReadReply, error) {
 
 // OnWrite implements Behavior.
 func (Stale) OnWrite(wire.WriteRequest) (bool, error) { return false, nil }
+
+// Delayed wraps a behavior with a fixed artificial delay before every
+// answer, turning a live server into a straggler. It is the fault-injection
+// counterpart of MemNetwork's per-server latency for transports (like TCP)
+// that carry real traffic and cannot inject delay themselves. A nil Inner
+// delays Correct behavior.
+type Delayed struct {
+	Inner Behavior
+	Delay time.Duration
+}
+
+func (d Delayed) inner() Behavior {
+	if d.Inner == nil {
+		return Correct{}
+	}
+	return d.Inner
+}
+
+// OnRead implements Behavior.
+func (d Delayed) OnRead(key string, correct wire.ReadReply) (wire.ReadReply, error) {
+	time.Sleep(d.Delay)
+	return d.inner().OnRead(key, correct)
+}
+
+// OnWrite implements Behavior.
+func (d Delayed) OnWrite(req wire.WriteRequest) (bool, error) {
+	time.Sleep(d.Delay)
+	return d.inner().OnWrite(req)
+}
 
 // Silent suppresses all replies (reads fail, writes are dropped), modelling
 // a server that is up but mute — indistinguishable from a crash to clients.

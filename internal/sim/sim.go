@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"pqs/internal/quorum"
 	"pqs/internal/register"
@@ -62,6 +63,20 @@ type ConsistencyConfig struct {
 	Trials int
 	// Seed makes the run reproducible.
 	Seed int64
+
+	// Spares, HedgeDelay and EagerRead enable the client's straggler-
+	// tolerant access path (register.Options), so the empirical ε can be
+	// measured with hedging in effect. Spares requires System to implement
+	// quorum.SpareSampler.
+	Spares     int
+	HedgeDelay time.Duration
+	EagerRead  bool
+	// DropProb makes the simulated network lose each call with this
+	// probability, forcing failure-triggered spare promotion.
+	DropProb float64
+	// WriteW, when non-zero, completes writes at WriteW acknowledgements
+	// (register.Options.W).
+	WriteW int
 }
 
 // ConsistencyResult summarizes a consistency measurement.
@@ -91,14 +106,21 @@ func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
 	}
 	n := cfg.System.N()
 	cluster := NewCluster(n, cfg.Seed)
+	if cfg.DropProb > 0 {
+		cluster.Net.SetDropProb(cfg.DropProb)
+	}
 
 	opts := register.Options{
-		System:    cfg.System,
-		Mode:      cfg.Mode,
-		K:         cfg.K,
-		Transport: cluster.Net,
-		Rand:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		Clock:     ts.NewClock(1),
+		System:     cfg.System,
+		Mode:       cfg.Mode,
+		K:          cfg.K,
+		Transport:  cluster.Net,
+		Rand:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:      ts.NewClock(1),
+		Spares:     cfg.Spares,
+		HedgeDelay: cfg.HedgeDelay,
+		EagerRead:  cfg.EagerRead,
+		W:          cfg.WriteW,
 	}
 
 	forgedValue := []byte("\x00fabricated")
@@ -147,6 +169,7 @@ func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
 		}
 	}
 	res.Rate = 1 - float64(res.Correct)/float64(res.Trials)
+	client.WaitDrained() // retire background drains before the cluster goes away
 	return res, nil
 }
 

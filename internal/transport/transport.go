@@ -63,9 +63,15 @@ type MemNetwork struct {
 	dropProb  float64
 	minLat    time.Duration
 	maxLat    time.Duration
+	perServer map[quorum.ServerID]latRange // overrides minLat/maxLat per server
 	rngMu     sync.Mutex
 	rng       *rand.Rand
 	callGroup int // partition group of direct Call users (clients)
+}
+
+// latRange is a per-server latency override.
+type latRange struct {
+	min, max time.Duration
 }
 
 // NewMemNetwork returns an empty simulated network. seed fixes the fault
@@ -129,6 +135,25 @@ func (n *MemNetwork) SetLatency(min, max time.Duration) {
 	n.minLat, n.maxLat = min, max
 }
 
+// SetServerLatency overrides the per-call latency range for one server,
+// making it a straggler (or a fast path) relative to SetLatency's global
+// range. A zero max restores the global range for that server.
+func (n *MemNetwork) SetServerLatency(id quorum.ServerID, min, max time.Duration) {
+	if min < 0 || max < min {
+		panic("transport: invalid latency range")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.perServer == nil {
+		n.perServer = make(map[quorum.ServerID]latRange)
+	}
+	if max == 0 {
+		delete(n.perServer, id)
+		return
+	}
+	n.perServer[id] = latRange{min: min, max: max}
+}
+
 // SetPartition assigns servers to partition groups. Calls between different
 // groups fail with ErrPartitioned. Servers not mentioned stay in group 0.
 func (n *MemNetwork) SetPartition(groups map[quorum.ServerID]int) {
@@ -166,6 +191,9 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	crashed := n.crashed[to]
 	drop := n.dropProb
 	minLat, maxLat := n.minLat, n.maxLat
+	if lr, ok := n.perServer[to]; ok {
+		minLat, maxLat = lr.min, lr.max
+	}
 	sameGroup := n.groups[to] == n.callGroup
 	n.mu.RUnlock()
 

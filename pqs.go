@@ -28,6 +28,32 @@
 // The quality measures of every System — Load, FaultTolerance, FailProb,
 // Epsilon — are exact, computed from hypergeometric identities rather than
 // the paper's asymptotic bounds (which are also available as EpsilonBound).
+//
+// # Straggler tolerance
+//
+// Because any set sampled by the access strategy is a valid quorum
+// (Section 3: quorums are ~ℓ√n uniformly random servers), a client never
+// has to wait for specific stragglers. ClientConfig exposes three knobs
+// that exploit this:
+//
+//   - Spares and HedgeDelay oversample the access set: up to Spares extra
+//     servers are drawn by the same strategy and promoted when a member's
+//     call fails or each time HedgeDelay elapses without completion
+//     (hedged requests).
+//   - EagerRead returns a read as soon as its mode's acceptance rule is
+//     decidable — quorum-size replies (benign), plus a verified reply
+//     (dissemination), or an unbeatable K-voucher candidate (masking) —
+//     draining stragglers in the background (read repair included).
+//   - W completes a write after W acknowledgements; the in-flight calls
+//     keep delivering the write to the remaining members while the
+//     operation's context stays live.
+//
+// Promotion preserves the ε analysis at the attempt level: spares come from
+// the same uniform sample and are dispatched only on observed failure or on
+// an identity-blind timer, which is the same conditioning-on-liveness that
+// quorum re-sampling (RetryingClient) already performs. The empirical-ε
+// benchmarks (BenchmarkEmpiricalEpsilon*Hedged) measure the bound with
+// hedging enabled.
 package pqs
 
 import (
@@ -35,6 +61,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"pqs/internal/core"
 	"pqs/internal/quorum"
@@ -184,6 +211,19 @@ func (s *System) Epsilon() float64 { return s.epsilon }
 // (Theorems 3.16, 4.4/4.6, 5.10). Always >= Epsilon.
 func (s *System) EpsilonBound() float64 { return s.epsilonBound }
 
+// PickWithSpares implements quorum.SpareSampler by forwarding to the
+// underlying construction (all three constructions are carried by the
+// uniform system, which supports spare sampling). Systems built over a
+// carrier without spare support degrade to Pick with no spares.
+func (s *System) PickWithSpares(r *rand.Rand, spares int) (q, spare []quorum.ServerID) {
+	if ss, ok := s.System.(quorum.SpareSampler); ok {
+		return ss.PickWithSpares(r, spares)
+	}
+	return s.System.Pick(r), nil
+}
+
+var _ quorum.SpareSampler = (*System)(nil)
+
 // WriterKey is a writer's signing identity for self-verifying data.
 type WriterKey struct {
 	// ID is the writer id embedded in timestamps.
@@ -234,6 +274,25 @@ type ClientConfig struct {
 	// members. Valid in benign and dissemination modes; rejected in
 	// masking mode (a fooled read must not persist fabricated data).
 	ReadRepair bool
+	// Spares oversamples every access set by this many extra servers,
+	// promoted when a member fails or lags (see HedgeDelay). Spares are
+	// drawn by the same access strategy, preserving the attempt-level ε
+	// argument (see the package docs).
+	Spares int
+	// HedgeDelay, when positive, promotes one spare each time this delay
+	// elapses before the operation completes. Zero promotes spares only on
+	// observed member failure.
+	HedgeDelay time.Duration
+	// EagerRead returns reads at the mode's decidable completion threshold
+	// instead of waiting for every straggler; remaining replies are drained
+	// in the background (read repair included).
+	EagerRead bool
+	// W, when between 1 and the quorum size, completes writes after W
+	// acknowledgements, trading a further ε degradation for latency; the
+	// calls already in flight keep delivering the write to the remaining
+	// members while the operation's context stays live. Zero (or
+	// RequireFullWrite) waits for the full access set.
+	W int
 }
 
 // Transport delivers one request to one server. Implemented by LocalCluster
@@ -249,6 +308,11 @@ type ReadResult = register.ReadResult
 
 // WriteResult reports a write's outcome and diagnostics.
 type WriteResult = register.WriteResult
+
+// AccessStats reports a client's cumulative straggler-tolerance counters
+// (spares promoted, early completions, late replies and late repairs); see
+// Client.Stats and Client.WaitDrained.
+type AccessStats = register.AccessStats
 
 // Errors re-exported for errors.Is matching.
 var (
@@ -293,6 +357,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		Registry:         cfg.Registry,
 		RequireFullWrite: cfg.RequireFullWrite,
 		ReadRepair:       cfg.ReadRepair,
+		Spares:           cfg.Spares,
+		HedgeDelay:       cfg.HedgeDelay,
+		EagerRead:        cfg.EagerRead,
+		W:                cfg.W,
 	}
 	if cfg.Key.Private != nil {
 		opts.Signer = cfg.Key.Private

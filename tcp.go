@@ -64,6 +64,20 @@ func (s *Server) MakeByzantine(forgedValue []byte) {
 // MakeCorrect restores correct behavior.
 func (s *Server) MakeCorrect() { s.rep.SetBehavior(replica.Correct{}) }
 
+// SetReplyDelay makes the replica sleep for d before answering every
+// request, turning it into a straggler over real sockets — the TCP-path
+// counterpart of LocalCluster.SetServerLatency, used to exercise the
+// client's hedging and early-threshold knobs (ClientConfig.Spares,
+// HedgeDelay, EagerRead, W, which are transport-agnostic). A zero d
+// restores prompt correct behavior.
+func (s *Server) SetReplyDelay(d time.Duration) {
+	if d <= 0 {
+		s.rep.SetBehavior(replica.Correct{})
+		return
+	}
+	s.rep.SetBehavior(replica.Delayed{Delay: d})
+}
+
 // StartDiffusion launches a background epidemic anti-entropy engine on this
 // server: every interval it push-pulls state with fanout random peers over
 // TCP (Section 1.1's lazy update propagation, as a deployment would run it
