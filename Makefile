@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test vet race tier1 ci bench bench-tail
+# bench-json iteration budget: 1s for real measurements, overridable (CI's
+# bench-smoke passes 1x to guard against bit-rot without timing flakiness).
+BENCHTIME ?= 1s
+
+.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke
 
 all: ci
 
@@ -17,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/
+	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/ ./internal/replica/
 
 # tier1 is the repository's acceptance gate: it must pass from a clean
 # checkout.
@@ -32,3 +36,20 @@ bench:
 # and the empirical-ε validation with hedging enabled.
 bench-tail:
 	$(GO) test -run 'XXX' -bench 'ReadTailLatency|EpsilonBenignHedged|EpsilonMaskingHedged' -benchtime 2s .
+
+# The data-plane throughput numbers: codec encode/decode cost (binary vs the
+# gob baseline) and end-to-end ops/sec over MemNetwork and TCP, recorded as
+# machine-readable JSON so the perf trajectory across PRs has data points.
+# Staged through a temp file rather than a pipe so a benchmark failure
+# fails the target (/bin/sh has no pipefail).
+bench-json:
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime $(BENCHTIME) . > BENCH_throughput.out
+	$(GO) run ./cmd/benchjson < BENCH_throughput.out > BENCH_throughput.json
+	@rm -f BENCH_throughput.out
+	@echo "wrote BENCH_throughput.json"
+
+# CI bit-rot guard: run every throughput/codec benchmark for one iteration
+# and verify BENCH_throughput.json is regenerable and well-formed.
+bench-smoke:
+	$(MAKE) bench-json BENCHTIME=1x
+	$(GO) run ./cmd/benchjson -check BENCH_throughput.json

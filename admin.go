@@ -1,0 +1,64 @@
+package pqs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/wire"
+)
+
+// ServerStats is the observability snapshot a replica server exposes over
+// its admin endpoint (pqsd -admin): store shape and shard counters, the TCP
+// endpoint's frame/flush counters (including how many writes the flush
+// coalescing batched), and the process-wide binary codec counters.
+type ServerStats struct {
+	// ID is the replica's server id; Addr its bound data-plane address.
+	ID   int    `json:"id"`
+	Addr string `json:"addr"`
+	// Codec names the wire codec the data plane speaks.
+	Codec string `json:"codec"`
+	// UptimeSeconds counts from ListenAndServe.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Store reports the sharded store: key counts, shard skew, get/apply
+	// counters.
+	Store replica.StoreStats `json:"store"`
+	// Transport reports the server's TCP counters: connections, frames,
+	// bytes, flushes and coalesced writes.
+	Transport transport.TCPStats `json:"transport"`
+	// WireCodec reports the process-wide binary codec counters.
+	WireCodec wire.CodecStats `json:"wire_codec"`
+}
+
+// Stats returns a snapshot of the server's observability counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		ID:            int(s.rep.ID()),
+		Addr:          s.srv.Addr(),
+		Codec:         s.srv.Codec().String(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Store:         s.rep.Store().Stats(),
+		Transport:     s.srv.Stats(),
+		WireCodec:     wire.Stats(),
+	}
+}
+
+// AdminHandler returns the HTTP handler pqsd mounts on its admin listener:
+//
+//	GET /stats    the ServerStats snapshot as JSON
+//	GET /healthz  200 ok
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` output into the JSON the
+// repository records as BENCH_throughput.json, so the performance trajectory
+// across PRs is machine-readable (ops/sec, ns/op, B/op, allocs/op and any
+// custom metrics).
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem . | benchjson > BENCH_throughput.json
+//	benchjson -check BENCH_throughput.json   # validate a recorded file
+//
+// The -check mode is the CI bit-rot guard: it fails unless the file parses
+// and contains at least one throughput and one codec benchmark.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_throughput.json shape.
+type Report struct {
+	// Context lines from the bench output (goos, goarch, pkg, cpu).
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks holds one entry per benchmark line, in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) == 3 && os.Args[1] == "-check" {
+		if err := check(os.Args[2]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: ok")
+		return
+	}
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: %w", line, err)
+			}
+			report.Benchmarks = append(report.Benchmarks, res)
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			report.Context[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(report.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input")
+	}
+	return report, nil
+}
+
+// parseBenchLine parses one standard bench line:
+//
+//	BenchmarkName-8   1000   1234 ns/op   56 B/op   7 allocs/op   890 ops/sec
+//
+// After the iteration count, fields come in (value, unit) pairs.
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, fmt.Errorf("too few fields")
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("iterations: %w", err)
+	}
+	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, nil
+}
+
+// check validates a recorded BENCH_throughput.json.
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(report.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	var haveThroughput, haveCodec bool
+	for _, b := range report.Benchmarks {
+		if len(b.Metrics) == 0 {
+			return fmt.Errorf("%s: benchmark %s has no metrics", path, b.Name)
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkThroughput") {
+			haveThroughput = true
+		}
+		if strings.HasPrefix(b.Name, "BenchmarkCodec") {
+			haveCodec = true
+		}
+	}
+	if !haveThroughput || !haveCodec {
+		return fmt.Errorf("%s: missing throughput or codec benchmarks (throughput=%v codec=%v)",
+			path, haveThroughput, haveCodec)
+	}
+	return nil
+}

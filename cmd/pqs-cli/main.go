@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func run() error {
 	q := flag.Int("q", 0, "explicit quorum size (overrides -eps)")
 	writer := flag.Uint("writer", 1, "writer id for puts")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
+	stats := flag.Bool("stats", false, "print the client's AccessStats as JSON after the operation")
 	flag.Parse()
 
 	addrs, err := parseServers(*servers)
@@ -104,6 +106,14 @@ func run() error {
 		fmt.Printf("ok\t(stamp %s, %d/%d acked)\n", w.Stamp, len(w.Acked), len(w.Quorum))
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+	if *stats {
+		client.WaitDrained() // settle background drains so counters are final
+		out, err := json.Marshal(client.Stats())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stats\t%s\n", out)
 	}
 	return nil
 }

@@ -9,11 +9,20 @@
 //	pqsd -id 0 -listen 127.0.0.1:7000
 //	pqsd -id 1 -listen 127.0.0.1:7001 \
 //	     -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -gossip-interval 500ms
+//	pqsd -id 0 -listen 127.0.0.1:7000 -admin 127.0.0.1:7100
+//
+// With -admin, the replica serves an HTTP observability endpoint:
+// GET /stats returns store shard counters, TCP frame/flush-coalescing
+// counters and binary codec counters as JSON; GET /healthz returns 200.
+// (Client-side access counters — spares promoted, early completions, late
+// repairs — live on clients; pqs-cli prints them with -stats.)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +43,7 @@ func main() {
 func run() error {
 	id := flag.Int("id", 0, "server id (position in the universe)")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	admin := flag.String("admin", "", "admin HTTP address serving /stats and /healthz (optional)")
 	peers := flag.String("peers", "", "comma-separated id=host:port peers for gossip (optional)")
 	fanout := flag.Int("fanout", 1, "gossip peers contacted per round")
 	interval := flag.Duration("gossip-interval", time.Second, "gossip round period")
@@ -44,6 +54,21 @@ func run() error {
 		return err
 	}
 	fmt.Printf("pqsd: replica %d serving on %s\n", *id, srv.Addr())
+
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		adminSrv := &http.Server{Handler: srv.AdminHandler()}
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "pqsd: admin:", err)
+			}
+		}()
+		defer adminSrv.Close()
+		fmt.Printf("pqsd: admin endpoint on http://%s/stats\n", al.Addr())
+	}
 
 	if *peers != "" {
 		addrs, err := parsePeers(*peers)

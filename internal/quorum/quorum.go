@@ -51,18 +51,64 @@ type System interface {
 	FailProb(p float64) float64
 }
 
+// InplacePicker is implemented by systems whose access strategy can sample
+// into a caller-supplied buffer, letting steady-state clients pick quorums
+// without allocating. The returned slice has exactly Pick's distribution and
+// sorted-ascending contract; it aliases dst when dst had capacity.
+type InplacePicker interface {
+	System
+	// PickInto samples one quorum into dst (reset to length 0 first),
+	// growing it only when capacity is insufficient.
+	PickInto(r *rand.Rand, dst []ServerID) []ServerID
+}
+
 // SampleK returns k distinct values uniformly drawn from {0, ..., n-1},
-// sorted ascending. It uses a partial Fisher-Yates shuffle over a dense
-// universe, which is O(n) space and O(n + k log k) time; all universes in
-// this library are small enough (thousands) that this is the simplest
-// correct choice.
+// sorted ascending.
 func SampleK(r *rand.Rand, n, k int) []ServerID {
+	return SampleKInto(r, n, k, nil)
+}
+
+// SampleKInto is SampleK sampling into dst (grown as needed): with
+// cap(dst) >= k it performs zero allocations, which is what lets a client's
+// steady-state quorum sampling run allocation-free. It uses Floyd's
+// algorithm — O(k) space and O(k^2) worst-case time from sorted insertion,
+// where quorum sizes (~l*sqrt(n), at most a few hundred) keep the insertion
+// cost below a map's — replacing the previous partial Fisher-Yates shuffle,
+// which allocated an O(n) permutation per pick.
+func SampleKInto(r *rand.Rand, n, k int, dst []ServerID) []ServerID {
 	if k < 0 || k > n {
 		panic(fmt.Sprintf("quorum: SampleK(%d, %d) outside domain", n, k))
 	}
-	out := SampleKUnsorted(r, n, k)
-	sortIDs(out)
-	return out
+	dst = dst[:0]
+	// Floyd: for j in [n-k, n), draw t uniform on [0, j]; take t unless
+	// already taken, else take j. Every element drawn in earlier rounds is
+	// < j, so "else take j" appends at the tail of the sorted slice.
+	for j := n - k; j < n; j++ {
+		t := ServerID(r.Intn(j + 1))
+		i := searchIDs(dst, t)
+		if i < len(dst) && dst[i] == t {
+			dst = append(dst, ServerID(j))
+			continue
+		}
+		dst = append(dst, 0)
+		copy(dst[i+1:], dst[i:])
+		dst[i] = t
+	}
+	return dst
+}
+
+// searchIDs returns the insertion index of v in ascending-sorted s.
+func searchIDs(s []ServerID, v ServerID) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // sortIDs sorts a small ServerID slice ascending (insertion sort: quorum
@@ -167,6 +213,12 @@ func (u *Uniform) QuorumSize() int { return u.q }
 
 // Pick implements System: a uniformly random q-subset.
 func (u *Uniform) Pick(r *rand.Rand) []ServerID { return SampleK(r, u.n, u.q) }
+
+// PickInto implements InplacePicker: Pick sampling into dst, zero-alloc when
+// dst has capacity q.
+func (u *Uniform) PickInto(r *rand.Rand, dst []ServerID) []ServerID {
+	return SampleKInto(r, u.n, u.q, dst)
+}
 
 // Load implements System. Every element lies in the same fraction q/n of
 // quorums under the uniform strategy (Section 3.4).

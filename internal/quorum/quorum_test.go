@@ -45,6 +45,92 @@ func TestSampleKUniform(t *testing.T) {
 	}
 }
 
+// TestSampleKIntoZeroAlloc is the data-plane fast-path guarantee: sampling
+// into a buffer with sufficient capacity allocates nothing, so steady-state
+// quorum picks are allocation-free.
+func TestSampleKIntoZeroAlloc(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	buf := make([]ServerID, 0, 23)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = SampleKInto(r, 100, 23, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("SampleKInto with capacity: %v allocs/op, want 0", allocs)
+	}
+	u, err := NewUniform(100, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		buf = u.PickInto(r, buf)
+	})
+	if allocs != 0 {
+		t.Errorf("Uniform.PickInto with capacity: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSampleKIntoMatchesContract checks PickInto against Pick's contract:
+// sorted, distinct, in-universe, and uniform per-element frequency (the
+// distribution equality with the old Fisher-Yates sampler).
+func TestSampleKIntoMatchesContract(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	n, k, trials := 20, 5, 40000
+	counts := make([]int, n)
+	buf := make([]ServerID, 0, k)
+	for i := 0; i < trials; i++ {
+		buf = SampleKInto(r, n, k, buf)
+		for j, id := range buf {
+			if id < 0 || int(id) >= n {
+				t.Fatalf("element %d outside universe", id)
+			}
+			if j > 0 && buf[j] <= buf[j-1] {
+				t.Fatalf("not sorted/distinct: %v", buf)
+			}
+			counts[id]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	for id, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d appeared %d times, want ~%.0f", id, c, want)
+		}
+	}
+}
+
+// TestSampleKUnsortedUniformOrder checks the Floyd+shuffle rewrite kept both
+// properties spare promotion depends on: uniform membership and uniform draw
+// order (each element equally likely in each position).
+func TestSampleKUnsortedUniformOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	n, k, trials := 10, 4, 40000
+	posCounts := make([][]int, k)
+	for i := range posCounts {
+		posCounts[i] = make([]int, n)
+	}
+	for i := 0; i < trials; i++ {
+		s := SampleKUnsorted(r, n, k)
+		if len(s) != k {
+			t.Fatalf("len %d, want %d", len(s), k)
+		}
+		seen := make(map[ServerID]bool, k)
+		for pos, id := range s {
+			if seen[id] {
+				t.Fatalf("duplicate %d in %v", id, s)
+			}
+			seen[id] = true
+			posCounts[pos][id]++
+		}
+	}
+	want := float64(trials) / float64(n)
+	for pos := range posCounts {
+		for id, c := range posCounts[pos] {
+			if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+				t.Errorf("position %d: element %d appeared %d times, want ~%.0f", pos, id, c, want)
+			}
+		}
+	}
+}
+
 func TestSampleKPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -45,21 +45,18 @@ func SampleKWithSpares(r *rand.Rand, n, k, spares int) (q, spare []ServerID) {
 	return q, spare
 }
 
-// SampleKUnsorted is SampleK without the final sort: k distinct values
-// uniformly drawn from {0, ..., n-1}, in draw order.
+// SampleKUnsorted is SampleK in uniformly random order: k distinct values
+// uniformly drawn from {0, ..., n-1}, in draw order. It samples the subset
+// with Floyd's algorithm and shuffles it, which has exactly the distribution
+// of the k-prefix of a Fisher-Yates permutation (uniform subset x uniform
+// order) at O(k) instead of O(n) space.
 func SampleKUnsorted(r *rand.Rand, n, k int) []ServerID {
 	if k < 0 || k > n {
 		panic("quorum: SampleKUnsorted outside domain")
 	}
-	perm := make([]ServerID, n)
-	for i := range perm {
-		perm[i] = ServerID(i)
-	}
-	for i := 0; i < k; i++ {
-		j := i + r.Intn(n-i)
-		perm[i], perm[j] = perm[j], perm[i]
-	}
-	return perm[:k:k]
+	out := SampleKInto(r, n, k, make([]ServerID, 0, k))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
 }
 
 // sampleComplement draws up to want distinct servers uniformly from the

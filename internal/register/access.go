@@ -155,7 +155,10 @@ func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
 }
 
 // pickWithSpares samples one access set plus the configured number of
-// spares under the client's strategy.
+// spares under the client's strategy. Spare-free picks from an
+// InplacePicker-capable system run through the client's buffer freelist, so
+// steady-state sampling performs zero allocations; each operation returns
+// its buffer with recyclePick when it completes.
 func (c *Client) pickWithSpares() (q, spares []quorum.ServerID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -164,7 +167,39 @@ func (c *Client) pickWithSpares() (q, spares []quorum.ServerID) {
 			return ss.PickWithSpares(c.rng, c.opts.Spares)
 		}
 	}
+	if ip, ok := c.opts.System.(quorum.InplacePicker); ok {
+		return ip.PickInto(c.rng, c.takeBufLocked()), nil
+	}
 	return c.opts.System.Pick(c.rng), nil
+}
+
+// maxPickFree bounds the sampling-buffer freelist; beyond the steady
+// concurrency level extra buffers are garbage, not cache.
+const maxPickFree = 8
+
+// takeBufLocked pops a sampling buffer from the freelist. c.mu must be held.
+func (c *Client) takeBufLocked() []quorum.ServerID {
+	if n := len(c.pickFree); n > 0 {
+		buf := c.pickFree[n-1]
+		c.pickFree = c.pickFree[:n-1]
+		return buf[:0]
+	}
+	return make([]quorum.ServerID, 0, c.opts.System.QuorumSize())
+}
+
+// recyclePick returns a completed operation's access-set buffer to the
+// freelist. The buffer never escapes the operation: Read and Write copy it
+// into the result's Quorum field, so recycling cannot rewrite anything a
+// caller holds.
+func (c *Client) recyclePick(q []quorum.ServerID) {
+	if cap(q) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if len(c.pickFree) < maxPickFree {
+		c.pickFree = append(c.pickFree, q)
+	}
+	c.mu.Unlock()
 }
 
 // spareCapable reports whether sys can supply spares.

@@ -141,8 +141,9 @@ type Options struct {
 type Client struct {
 	opts Options
 
-	mu  sync.Mutex // guards rand (rand.Rand is not goroutine safe)
-	rng *rand.Rand
+	mu       sync.Mutex // guards rng (not goroutine safe) and pickFree
+	rng      *rand.Rand
+	pickFree [][]quorum.ServerID // recycled sampling buffers (see access.go)
 
 	accessCounters
 	drainWG sync.WaitGroup
@@ -198,7 +199,9 @@ func (c *Client) System() quorum.System { return c.opts.System }
 
 // WriteResult reports the outcome of a write.
 type WriteResult struct {
-	// Quorum is the access set chosen by the strategy.
+	// Quorum is the access set chosen by the strategy. The caller owns the
+	// slice (the client samples into a reused internal buffer and copies it
+	// here, so concurrent operations can never rewrite a returned result).
 	Quorum []quorum.ServerID
 	// Acked lists the members (or promoted spares) that acknowledged before
 	// the write completed; late acknowledgements land in Stats.
@@ -224,6 +227,7 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 		return WriteResult{}, errors.New("register: client has no clock; cannot write")
 	}
 	q, spares := c.pickWithSpares()
+	defer c.recyclePick(q)
 	stamp := c.opts.Clock.Next()
 	val := make([]byte, len(value))
 	copy(val, value)
@@ -233,7 +237,7 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 	}
 	req := wire.WriteRequest{Key: key, Value: val, Stamp: stamp, Sig: sig}
 
-	res := WriteResult{Quorum: q, Stamp: stamp}
+	res := WriteResult{Quorum: append([]quorum.ServerID(nil), q...), Stamp: stamp}
 	target := len(q)
 	if !c.opts.RequireFullWrite && c.opts.W > 0 && c.opts.W < target {
 		target = c.opts.W
@@ -266,7 +270,9 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 
 // ReadResult reports the outcome of a read.
 type ReadResult struct {
-	// Quorum is the access set chosen by the strategy.
+	// Quorum is the access set chosen by the strategy. The caller owns the
+	// slice (the client samples into a reused internal buffer and copies it
+	// here, so concurrent operations can never rewrite a returned result).
 	Quorum []quorum.ServerID
 	// Found reports whether any value passed the mode's acceptance rule.
 	// The masking protocol's ⊥ outcome is Found == false with nil error.
@@ -331,9 +337,10 @@ func maskDecided(votes map[voteKey]int, k, outstanding int) bool {
 // lagging members are hedged with spare servers.
 func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
 	q, spares := c.pickWithSpares()
+	defer c.recyclePick(q)
 	req := wire.ReadRequest{Key: key}
 
-	res := ReadResult{Quorum: q}
+	res := ReadResult{Quorum: append([]quorum.ServerID(nil), q...)}
 	collected := make([]wire.ReadReply, 0, len(q))
 	byID := make(map[quorum.ServerID]wire.ReadReply, len(q))
 	verified := 0

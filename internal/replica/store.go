@@ -8,6 +8,7 @@ package replica
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pqs/internal/ts"
 )
@@ -20,22 +21,58 @@ type Entry struct {
 	Sig   []byte
 }
 
-// Store is a replica's local key-value state. It is safe for concurrent use.
+// numShards is the store's shard count. The load analysis puts ~l*sqrt(n)
+// concurrent accesses on a busy replica; 64 shards keep the probability of
+// two concurrent distinct-key operations colliding on a shard's lock small
+// without bloating the zero-value footprint. Must be a power of two.
+const numShards = 64
+
+// Store is a replica's local key-value state, sharded by key hash so that
+// operations on distinct keys proceed without contending on a single lock.
+// It is safe for concurrent use.
 type Store struct {
+	shards [numShards]shard
+
+	// op counters (cumulative; see Stats)
+	gets, applies, adopted atomic.Uint64
+}
+
+type shard struct {
 	mu sync.RWMutex
 	m  map[string]Entry
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{m: make(map[string]Entry)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]Entry)
+	}
+	return s
+}
+
+// shardFor hashes key with FNV-1a (inlined; hash/fnv would allocate a
+// hasher per call) and selects a shard.
+func (s *Store) shardFor(key string) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return &s.shards[h&(numShards-1)]
 }
 
 // Get returns the entry for key, if any.
 func (s *Store) Get(key string) (Entry, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.m[key]
+	s.gets.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
 	return e, ok
 }
 
@@ -43,43 +80,97 @@ func (s *Store) Get(key string) (Entry, bool) {
 // (last-writer-wins merge; the standard timestamped-register update). It
 // reports whether the entry was adopted.
 func (s *Store) Apply(key string, e Entry) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, ok := s.m[key]
+	s.applies.Add(1)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	cur, ok := sh.m[key]
 	if ok && !cur.Stamp.Less(e.Stamp) {
+		sh.mu.Unlock()
 		return false
 	}
-	s.m[key] = e
+	sh.m[key] = e
+	sh.mu.Unlock()
+	s.adopted.Add(1)
 	return true
 }
 
 // Len returns the number of stored keys.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.m)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Keys returns all stored keys (unordered).
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.m))
-	for k := range s.m {
-		out = append(out, k)
+	out := make([]string, 0, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // Snapshot returns a copy of the full key-entry map. Entries share the
 // underlying value slices, which callers must treat as immutable (every
-// write path in this library stores fresh slices).
+// write path in this library stores fresh slices). The snapshot is
+// per-shard-consistent, not point-in-time across shards: concurrent writes
+// may appear in some shards and not others, which is harmless to the gossip
+// path (anti-entropy converges regardless of which rounds see which
+// entries).
 func (s *Store) Snapshot() map[string]Entry {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]Entry, len(s.m))
-	for k, v := range s.m {
-		out[k] = v
+	out := make(map[string]Entry, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			out[k] = v
+		}
+		sh.mu.RUnlock()
 	}
 	return out
+}
+
+// StoreStats reports a store's shape and cumulative operation counters.
+type StoreStats struct {
+	// Keys is the number of stored keys; Shards the shard count.
+	Keys   int
+	Shards int
+	// MaxShardKeys is the most keys held by one shard (skew indicator).
+	MaxShardKeys int
+	// Gets and Applies count operations; Adopted counts the Applies whose
+	// entry won the last-writer-wins merge.
+	Gets    uint64
+	Applies uint64
+	Adopted uint64
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() StoreStats {
+	st := StoreStats{
+		Shards:  numShards,
+		Gets:    s.gets.Load(),
+		Applies: s.applies.Load(),
+		Adopted: s.adopted.Load(),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n := len(sh.m)
+		sh.mu.RUnlock()
+		st.Keys += n
+		if n > st.MaxShardKeys {
+			st.MaxShardKeys = n
+		}
+	}
+	return st
 }

@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -13,13 +17,302 @@ import (
 	"pqs/internal/wire"
 )
 
-// TCPServer serves a Handler over a TCP listener using gob-encoded
-// wire.Envelope frames. Each accepted connection is multiplexed: requests
-// are handled concurrently and replies are written back tagged with the
-// request id, so a single client connection can have many calls in flight.
+// Codec selects the serialization the TCP transport uses. Both ends of a
+// connection must agree (the framings are not self-describing).
+type Codec int
+
+// Codecs.
+const (
+	// CodecBinary is the hand-rolled length-prefixed binary codec of
+	// internal/wire (codec.go): the data-plane fast path. Default.
+	CodecBinary Codec = iota
+	// CodecGob is the encoding/gob framing the transport originally used,
+	// kept for wire-compat tests and as a safety hatch: it can carry payload
+	// types the closed binary codec rejects.
+	CodecGob
+)
+
+// String implements fmt.Stringer.
+func (c Codec) String() string {
+	switch c {
+	case CodecBinary:
+		return "binary"
+	case CodecGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("codec(%d)", int(c))
+	}
+}
+
+// maxFrameSize bounds a single binary frame (64 MiB); a length prefix beyond
+// it indicates a corrupt stream or a protocol mismatch, and failing fast
+// beats attempting the allocation.
+const maxFrameSize = 64 << 20
+
+// readBufSize/writeBufSize size the per-connection bufio buffers. Typical
+// frames (read/write RPCs with small values) are well under 4 KiB, so these
+// hold several coalesced frames per syscall.
+const (
+	readBufSize  = 32 << 10
+	writeBufSize = 32 << 10
+)
+
+// TCPStats counts one TCP endpoint's wire activity. All counters are
+// cumulative; obtain snapshots via TCPServer.Stats or TCPClient.Stats.
+type TCPStats struct {
+	// Conns is the number of connections accepted (server) or dialed
+	// (client) over the endpoint's lifetime.
+	Conns uint64
+	// FramesRead and FramesWritten count complete frames (requests or
+	// replies) moved across the wire.
+	FramesRead    uint64
+	FramesWritten uint64
+	// BytesRead and BytesWritten count frame bytes, including length
+	// prefixes, as handed to the buffered reader/writer (gob connections
+	// count only frames, not bytes).
+	BytesRead    uint64
+	BytesWritten uint64
+	// Flushes counts syscall-bound writer flushes, including the inline
+	// flushes bufio performs for frames larger than the write buffer;
+	// WritesCoalesced counts frames that piggybacked on another frame's
+	// flush (FramesWritten - Flushes, clamped at zero). For binary
+	// connections carrying frames smaller than the write buffer,
+	// Flushes + WritesCoalesced == FramesWritten and
+	// WritesCoalesced/FramesWritten is the syscall savings of coalescing.
+	// Gob connections count only explicit flushes (gob's own buffering is
+	// opaque).
+	Flushes         uint64
+	WritesCoalesced uint64
+}
+
+// tcpCounters is the shared mutable form of TCPStats.
+type tcpCounters struct {
+	conns, framesRead, framesWritten, bytesRead, bytesWritten, flushes atomic.Uint64
+}
+
+func (c *tcpCounters) snapshot() TCPStats {
+	s := TCPStats{
+		Conns:         c.conns.Load(),
+		FramesRead:    c.framesRead.Load(),
+		FramesWritten: c.framesWritten.Load(),
+		BytesRead:     c.bytesRead.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+		Flushes:       c.flushes.Load(),
+	}
+	// Each flush covers at least one frame, so the difference is exactly
+	// the frames that rode along on another frame's flush.
+	if s.FramesWritten > s.Flushes {
+		s.WritesCoalesced = s.FramesWritten - s.Flushes
+	}
+	return s
+}
+
+// frameBufPool recycles binary frame read buffers across requests.
+var frameBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// returned release function recycles the buffer; callers must not retain the
+// slice after calling it (decoded values copy out of it).
+func readFrame(br *bufio.Reader, c *tcpCounters) (body []byte, release func(), err error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxFrameSize {
+		return nil, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	bp := frameBufPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		frameBufPool.Put(bp)
+		return nil, nil, err
+	}
+	c.framesRead.Add(1)
+	c.bytesRead.Add(n + uint64(uvarintLen(n)))
+	return buf, func() {
+		// Don't let one huge gossip frame pin megabytes in the pool (same
+		// cap as wire.PutBuffer).
+		if cap(buf) > 1<<20 {
+			return
+		}
+		*bp = buf[:0]
+		frameBufPool.Put(bp)
+	}, nil
+}
+
+// uvarintLen returns the encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// frameWriter serializes frame writes onto one connection through a buffered
+// writer with group-commit flush coalescing: writers append frames under the
+// lock and kick a dedicated flusher goroutine, which flushes whatever has
+// accumulated by the time it runs. A burst of concurrent replies or requests
+// therefore reaches the socket in one syscall, and the flush syscall itself
+// is off every writer's critical path.
+type frameWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	err   error // sticky write/flush error (guarded by mu)
+	stats *tcpCounters
+
+	kick    chan struct{} // capacity 1: wakes the flusher
+	done    chan struct{} // closed by close(); stops the flusher
+	stopped chan struct{} // closed by flushLoop on exit; close() waits on it
+
+	// enc is non-nil on gob connections; writeGob uses it under mu with the
+	// same coalescing rule.
+	enc *gob.Encoder
+}
+
+func newFrameWriter(conn net.Conn, codec Codec, stats *tcpCounters) *frameWriter {
+	w := &frameWriter{
+		bw:      bufio.NewWriterSize(conn, writeBufSize),
+		stats:   stats,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	if codec == CodecGob {
+		w.enc = gob.NewEncoder(w.bw)
+	}
+	go w.flushLoop()
+	return w
+}
+
+// close stops the flusher goroutine and waits for it. Callers must close the
+// underlying connection first: that makes any Flush the flusher is blocked
+// in fail promptly instead of stalling teardown behind a peer that has
+// stopped reading (un-flushed frames at teardown are lost, which callers
+// already treat as a transient connection failure).
+func (w *frameWriter) close() {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = ErrClosed
+	}
+	w.mu.Unlock()
+	close(w.done)
+	<-w.stopped
+}
+
+// flushLoop runs the group commit: each kick flushes everything buffered
+// since the last flush. The number of frames per flush grows with write
+// concurrency (see TCPStats.WritesCoalesced).
+func (w *frameWriter) flushLoop() {
+	defer close(w.stopped)
+	for {
+		select {
+		case <-w.kick:
+			// Yield once before flushing: writers that are runnable right
+			// now get to append their frames first, growing the batch. On an
+			// idle connection this is a no-op, so it costs no latency.
+			runtime.Gosched()
+			w.mu.Lock()
+			if w.err == nil && w.bw.Buffered() > 0 {
+				w.stats.flushes.Add(1)
+				if err := w.bw.Flush(); err != nil {
+					w.err = err
+				}
+			}
+			w.mu.Unlock()
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// appendDone marks a frame appended and wakes the flusher. Call with mu
+// held; it unlocks.
+func (w *frameWriter) appendDone() {
+	w.stats.framesWritten.Add(1)
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default: // flusher already scheduled; this frame rides along
+	}
+}
+
+// writeFrame writes a length-prefixed binary frame.
+func (w *frameWriter) writeFrame(body []byte) error {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(body)))
+
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	// Keep the flush counters honest for frames the buffer cannot absorb:
+	// appending past the free space makes bufio flush the buffered bytes
+	// inline, and a body at least as large as the whole buffer goes to the
+	// socket as its own write. Both are syscalls this frame caused, so they
+	// must not be reported as coalesced.
+	if total := n + len(body); total > w.bw.Available() && w.bw.Buffered() > 0 {
+		w.stats.flushes.Add(1)
+	}
+	if len(body) >= w.bw.Size() {
+		w.stats.flushes.Add(1)
+	}
+	if _, err := w.bw.Write(lenBuf[:n]); err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	if _, err := w.bw.Write(body); err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	w.stats.bytesWritten.Add(uint64(n + len(body)))
+	w.appendDone()
+	return nil
+}
+
+// writeGob gob-encodes v (a *wire.Envelope or *wire.ReplyEnvelope) with the
+// same coalescing as writeFrame.
+func (w *frameWriter) writeGob(v any) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if err := w.enc.Encode(v); err != nil {
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	w.appendDone()
+	return nil
+}
+
+// TCPServer serves a Handler over a TCP listener using framed wire.Envelope
+// messages (binary codec by default; see ListenTCPCodec). Each accepted
+// connection is multiplexed: requests are handled concurrently and replies
+// are written back tagged with the request id, so a single client connection
+// can have many calls in flight. Concurrent replies are coalesced into
+// shared flushes (one syscall per burst).
 type TCPServer struct {
 	handler  Handler
 	listener net.Listener
+	codec    Codec
+
+	// baseCtx is the root of every per-connection context; Close cancels it,
+	// so in-flight handlers observe shutdown instead of running on past it.
+	baseCtx   context.Context
+	cancelCtx context.CancelFunc
+
+	stats tcpCounters
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -27,15 +320,27 @@ type TCPServer struct {
 	wg     sync.WaitGroup
 }
 
-// ListenTCP starts serving h on addr (e.g. "127.0.0.1:0"). Close shuts the
-// server down and waits for connection goroutines to finish.
+// ListenTCP starts serving h on addr (e.g. "127.0.0.1:0") with the default
+// binary codec. Close shuts the server down and waits for connection
+// goroutines to finish.
 func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	return ListenTCPCodec(addr, h, CodecBinary)
+}
+
+// ListenTCPCodec is ListenTCP with an explicit codec. Clients must dial with
+// the same codec.
+func ListenTCPCodec(addr string, h Handler, codec Codec) (*TCPServer, error) {
 	wire.RegisterGob()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{handler: h, listener: l, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &TCPServer{
+		handler: h, listener: l, codec: codec,
+		baseCtx: ctx, cancelCtx: cancel,
+		conns: make(map[net.Conn]struct{}),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -44,8 +349,14 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 // Addr returns the listener's address, useful with port 0.
 func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
 
-// Close stops the listener, closes open connections and waits for all
-// server goroutines to exit.
+// Codec returns the codec the server speaks.
+func (s *TCPServer) Codec() Codec { return s.codec }
+
+// Stats returns a snapshot of the server's wire counters.
+func (s *TCPServer) Stats() TCPStats { return s.stats.snapshot() }
+
+// Close stops the listener, cancels the context of every in-flight request,
+// closes open connections and waits for all server goroutines to exit.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -57,6 +368,7 @@ func (s *TCPServer) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancelCtx()
 	err := s.listener.Close()
 	s.wg.Wait()
 	return err
@@ -78,6 +390,7 @@ func (s *TCPServer) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.stats.conns.Add(1)
 		go s.serveConn(conn)
 	}
 }
@@ -88,40 +401,113 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var writeMu sync.Mutex
+	// Every request on this connection runs under a context cancelled when
+	// the connection tears down or the server closes, so in-flight handlers
+	// cannot outlive either.
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	w := newFrameWriter(conn, s.codec, &s.stats)
+	// Teardown order (LIFO): cancel the connection context FIRST — its
+	// replies are undeliverable, and a handler blocked on ctx.Done would
+	// otherwise deadlock the wait — then wait out in-flight handlers, then
+	// close the socket, then stop the flusher (the socket must die before
+	// the flusher; see frameWriter.close).
+	defer w.close()
+	defer conn.Close()
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
-	for {
-		var env wire.Envelope
-		if err := dec.Decode(&env); err != nil {
+	defer cancel()
+
+	handle := func(env wire.Envelope) {
+		resp, err := s.handler.Handle(ctx, env.Payload)
+		reply := wire.ReplyEnvelope{ID: env.ID, Payload: resp}
+		if err != nil {
+			reply.Err = err.Error()
+			reply.Payload = nil
+		}
+		// A write error means the connection is going away; the read loop
+		// will observe it and exit.
+		if s.codec == CodecGob {
+			_ = w.writeGob(&reply)
 			return
 		}
+		bp := wire.GetBuffer()
+		frame, err := wire.AppendReplyEnvelope(*bp, reply)
+		if err != nil {
+			// The handler returned a payload the closed binary codec cannot
+			// carry; surface that as an RPC error instead of dropping the
+			// reply (the client would hang).
+			frame, _ = wire.AppendReplyEnvelope((*bp)[:0], wire.ReplyEnvelope{ID: env.ID, Err: err.Error()})
+		}
+		_ = w.writeFrame(frame)
+		*bp = frame[:0]
+		wire.PutBuffer(bp)
+	}
+
+	// A small pool of resident workers absorbs the steady request stream
+	// (goroutine creation and its stack growth were measurable on the hot
+	// path). The channel is unbuffered on purpose: a request is only handed
+	// to a worker that is already idle and overflows to a fresh goroutine
+	// otherwise, so a slow handler can never head-of-line-block a request
+	// that arrived after it.
+	const workers = 4
+	reqCh := make(chan wire.Envelope)
+	defer close(reqCh)
+	for i := 0; i < workers; i++ {
 		reqWG.Add(1)
-		go func(env wire.Envelope) {
+		go func() {
 			defer reqWG.Done()
-			resp, err := s.handler.Handle(context.Background(), env.Payload)
-			reply := wire.ReplyEnvelope{ID: env.ID, Payload: resp}
-			if err != nil {
-				reply.Err = err.Error()
-				reply.Payload = nil
+			for env := range reqCh {
+				handle(env)
 			}
-			writeMu.Lock()
-			defer writeMu.Unlock()
-			// An encode error means the connection is going away; the
-			// decode loop will observe it and exit.
-			_ = enc.Encode(&reply)
-		}(env)
+		}()
+	}
+	dispatch := func(env wire.Envelope) {
+		select {
+		case reqCh <- env:
+		default:
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				handle(env)
+			}()
+		}
+	}
+
+	if s.codec == CodecGob {
+		dec := gob.NewDecoder(bufio.NewReaderSize(conn, readBufSize))
+		for {
+			var env wire.Envelope
+			if err := dec.Decode(&env); err != nil {
+				return
+			}
+			s.stats.framesRead.Add(1)
+			dispatch(env)
+		}
+	}
+	br := bufio.NewReaderSize(conn, readBufSize)
+	for {
+		body, release, err := readFrame(br, &s.stats)
+		if err != nil {
+			return
+		}
+		env, err := wire.DecodeEnvelope(body)
+		release()
+		if err != nil {
+			return // corrupt stream; drop the connection
+		}
+		dispatch(env)
 	}
 }
 
 // TCPClient implements Transport over TCP. It maintains one multiplexed
 // connection per server, established lazily and re-dialed after failures.
+// Concurrent requests on one connection are coalesced into shared flushes.
 type TCPClient struct {
 	addrs map[quorum.ServerID]string
+	codec Codec
+
+	stats tcpCounters
 
 	mu     sync.Mutex
 	conns  map[quorum.ServerID]*tcpConn
@@ -129,17 +515,31 @@ type TCPClient struct {
 	nextID atomic.Uint64
 }
 
-// NewTCPClient returns a client that reaches server id at addrs[id].
+// NewTCPClient returns a client that reaches server id at addrs[id] with the
+// default binary codec.
 func NewTCPClient(addrs map[quorum.ServerID]string) *TCPClient {
+	return NewTCPClientCodec(addrs, CodecBinary)
+}
+
+// NewTCPClientCodec is NewTCPClient with an explicit codec; it must match
+// the servers'.
+func NewTCPClientCodec(addrs map[quorum.ServerID]string, codec Codec) *TCPClient {
 	wire.RegisterGob()
 	cp := make(map[quorum.ServerID]string, len(addrs))
 	for id, a := range addrs {
 		cp[id] = a
 	}
-	return &TCPClient{addrs: cp, conns: make(map[quorum.ServerID]*tcpConn)}
+	return &TCPClient{addrs: cp, codec: codec, conns: make(map[quorum.ServerID]*tcpConn)}
 }
 
 var _ Transport = (*TCPClient)(nil)
+
+// Codec returns the codec the client speaks.
+func (c *TCPClient) Codec() Codec { return c.codec }
+
+// Stats returns a snapshot of the client's wire counters, aggregated over
+// all its connections.
+func (c *TCPClient) Stats() TCPStats { return c.stats.snapshot() }
 
 // Call implements Transport.
 func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
@@ -201,7 +601,8 @@ func (c *TCPClient) conn(to quorum.ServerID) (*tcpConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("server %d: %w", to, err)
 	}
-	conn := newTCPConn(raw)
+	c.stats.conns.Add(1)
+	conn := newTCPConn(raw, c.codec, &c.stats)
 	c.conns[to] = conn
 	return conn, nil
 }
@@ -217,20 +618,22 @@ func (c *TCPClient) evict(to quorum.ServerID, conn *tcpConn) {
 
 // tcpConn is one multiplexed client connection.
 type tcpConn struct {
-	raw net.Conn
-	enc *gob.Encoder
-
-	writeMu sync.Mutex
+	raw   net.Conn
+	codec Codec
+	w     *frameWriter
+	stats *tcpCounters
 
 	mu      sync.Mutex
 	pending map[uint64]chan wire.ReplyEnvelope
 	closed  bool
 }
 
-func newTCPConn(raw net.Conn) *tcpConn {
+func newTCPConn(raw net.Conn, codec Codec, stats *tcpCounters) *tcpConn {
 	c := &tcpConn{
 		raw:     raw,
-		enc:     gob.NewEncoder(raw),
+		codec:   codec,
+		w:       newFrameWriter(raw, codec, stats),
+		stats:   stats,
 		pending: make(map[uint64]chan wire.ReplyEnvelope),
 	}
 	go c.readLoop()
@@ -247,9 +650,19 @@ func (c *tcpConn) send(id uint64, req any) (chan wire.ReplyEnvelope, error) {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := c.enc.Encode(&wire.Envelope{ID: id, Payload: req})
-	c.writeMu.Unlock()
+	var err error
+	if c.codec == CodecGob {
+		err = c.w.writeGob(&wire.Envelope{ID: id, Payload: req})
+	} else {
+		bp := wire.GetBuffer()
+		var frame []byte
+		frame, err = wire.AppendEnvelope(*bp, wire.Envelope{ID: id, Payload: req})
+		if err == nil {
+			err = c.w.writeFrame(frame)
+			*bp = frame[:0]
+		}
+		wire.PutBuffer(bp)
+	}
 	if err != nil {
 		c.abandon(id)
 		return nil, fmt.Errorf("transport: send: %w", err)
@@ -264,20 +677,42 @@ func (c *tcpConn) abandon(id uint64) {
 }
 
 func (c *tcpConn) readLoop() {
-	dec := gob.NewDecoder(c.raw)
+	if c.codec == CodecGob {
+		dec := gob.NewDecoder(bufio.NewReaderSize(c.raw, readBufSize))
+		for {
+			var reply wire.ReplyEnvelope
+			if err := dec.Decode(&reply); err != nil {
+				c.failAll()
+				return
+			}
+			c.stats.framesRead.Add(1)
+			c.deliver(reply)
+		}
+	}
+	br := bufio.NewReaderSize(c.raw, readBufSize)
 	for {
-		var reply wire.ReplyEnvelope
-		if err := dec.Decode(&reply); err != nil {
+		body, release, err := readFrame(br, c.stats)
+		if err != nil {
 			c.failAll()
 			return
 		}
-		c.mu.Lock()
-		ch, ok := c.pending[reply.ID]
-		delete(c.pending, reply.ID)
-		c.mu.Unlock()
-		if ok {
-			ch <- reply
+		reply, err := wire.DecodeReplyEnvelope(body)
+		release()
+		if err != nil {
+			c.failAll()
+			return
 		}
+		c.deliver(reply)
+	}
+}
+
+func (c *tcpConn) deliver(reply wire.ReplyEnvelope) {
+	c.mu.Lock()
+	ch, ok := c.pending[reply.ID]
+	delete(c.pending, reply.ID)
+	c.mu.Unlock()
+	if ok {
+		ch <- reply
 	}
 }
 
@@ -294,7 +729,8 @@ func (c *tcpConn) failAll() {
 		close(ch)
 		delete(c.pending, id)
 	}
-	c.raw.Close()
+	c.raw.Close() // before w.close: unblocks a flusher stuck in Flush
+	c.w.close()
 }
 
 func (c *tcpConn) close() error {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pqs/internal/quorum"
@@ -64,9 +65,18 @@ type MemNetwork struct {
 	minLat    time.Duration
 	maxLat    time.Duration
 	perServer map[quorum.ServerID]latRange // overrides minLat/maxLat per server
-	rngMu     sync.Mutex
-	rng       *rand.Rand
-	callGroup int // partition group of direct Call users (clients)
+	callGroup int                          // partition group of direct Call users (clients)
+
+	// Fault randomness. A single seeded *rand.Rand behind a mutex was the
+	// throughput bottleneck of concurrent Call benchmarks (every call takes
+	// the lock even when only drawing latency), so the network hands out
+	// per-goroutine PRNGs from a pool instead. Each pool entry is seeded
+	// from the network seed and a distinct sequence number, so runs stay
+	// reproducible for sequential callers and statistically faithful for
+	// concurrent ones.
+	seed    uint64
+	rngSeq  atomic.Uint64
+	rngPool sync.Pool
 }
 
 // latRange is a per-server latency override.
@@ -81,8 +91,28 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		handlers: make(map[quorum.ServerID]Handler),
 		crashed:  make(map[quorum.ServerID]bool),
 		groups:   make(map[quorum.ServerID]int),
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     uint64(seed),
 	}
+}
+
+// getRNG returns a pooled PRNG, creating one seeded from the network seed
+// and a fresh sequence number when the pool is empty.
+func (n *MemNetwork) getRNG() *rand.Rand {
+	if r, ok := n.rngPool.Get().(*rand.Rand); ok {
+		return r
+	}
+	return rand.New(rand.NewSource(int64(splitmix64(n.seed + n.rngSeq.Add(1)))))
+}
+
+func (n *MemNetwork) putRNG(r *rand.Rand) { n.rngPool.Put(r) }
+
+// splitmix64 is the standard 64-bit finalizer used to decorrelate pool-entry
+// seeds derived from consecutive sequence numbers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // Register attaches a server handler under the given id, replacing any
@@ -206,11 +236,24 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	if crashed {
 		return nil, fmt.Errorf("server %d: %w", to, ErrCrashed)
 	}
-	if drop > 0 && n.flip(drop) {
-		return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
-	}
-	if maxLat > 0 {
-		if err := n.sleep(ctx, minLat, maxLat); err != nil {
+	if drop > 0 || maxLat > minLat {
+		rng := n.getRNG()
+		dropped := drop > 0 && rng.Float64() < drop
+		d := minLat
+		if maxLat > minLat {
+			d += time.Duration(rng.Int63n(int64(maxLat - minLat + 1)))
+		}
+		n.putRNG(rng)
+		if dropped {
+			return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
+		}
+		if d > 0 {
+			if err := sleep(ctx, d); err != nil {
+				return nil, err
+			}
+		}
+	} else if maxLat > 0 {
+		if err := sleep(ctx, minLat); err != nil {
 			return nil, err
 		}
 	}
@@ -220,26 +263,32 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	return h.Handle(ctx, req)
 }
 
-// flip returns true with probability p using the network's seeded rng.
-func (n *MemNetwork) flip(p float64) bool {
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return n.rng.Float64() < p
-}
+// timerPool recycles latency timers across simulated calls: allocating a
+// time.Timer (plus its runtime timer) per call dominated MemNetwork
+// profiles once the PRNG lock was gone.
+var timerPool = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
 
-func (n *MemNetwork) sleep(ctx context.Context, min, max time.Duration) error {
-	d := min
-	if max > min {
-		n.rngMu.Lock()
-		d += time.Duration(n.rng.Int63n(int64(max - min + 1)))
-		n.rngMu.Unlock()
+// sleep blocks for d or until ctx is done, using a pooled timer.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := timerPool.Get().(*time.Timer)
+	if !t.Stop() {
+		// A fresh pool entry (or a rare straggler) may have fired; drain so
+		// Reset arms cleanly.
+		select {
+		case <-t.C:
+		default:
+		}
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	t.Reset(d)
 	select {
 	case <-t.C:
+		timerPool.Put(t)
 		return nil
 	case <-ctx.Done():
+		if !t.Stop() {
+			<-t.C
+		}
+		timerPool.Put(t)
 		return ctx.Err()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -309,6 +310,178 @@ func TestTCPContextCancellation(t *testing.T) {
 	}
 	if time.Since(start) > 150*time.Millisecond {
 		t.Error("call did not honor context deadline")
+	}
+}
+
+// TestTCPBothCodecsRoundTrip runs the full request/reply exchange under each
+// codec, including an error reply and a payload with nil and empty slices.
+func TestTCPBothCodecsRoundTrip(t *testing.T) {
+	for _, codec := range []Codec{CodecBinary, CodecGob} {
+		t.Run(codec.String(), func(t *testing.T) {
+			srv, err := ListenTCPCodec("127.0.0.1:0", &echoHandler{id: 9}, codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			if srv.Codec() != codec {
+				t.Fatalf("server codec %v", srv.Codec())
+			}
+			client := NewTCPClientCodec(map[quorum.ServerID]string{9: srv.Addr()}, codec)
+			defer client.Close()
+			resp, err := client.Call(context.Background(), 9, wire.PingRequest{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.(wire.PingReply).ServerID != 9 {
+				t.Errorf("ping reply %+v", resp)
+			}
+			wreq := wire.WriteRequest{Key: "k", Value: []byte{}, Sig: nil}
+			resp, err = client.Call(context.Background(), 9, wreq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := resp.(wire.WriteRequest)
+			if got.Key != "k" || len(got.Value) != 0 || len(got.Sig) != 0 {
+				t.Errorf("echoed write = %+v", got)
+			}
+		})
+	}
+}
+
+// TestTCPServerCloseCancelsHandlerContext locks in the per-connection
+// context: a handler blocked on ctx.Done must be released by Close (with
+// context.Background it would deadlock Close forever).
+func TestTCPServerCloseCancelsHandlerContext(t *testing.T) {
+	started := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, req any) (any, error) {
+		close(started)
+		<-ctx.Done() // only Close (or conn teardown) can release this
+		return nil, ctx.Err()
+	})
+	srv, err := ListenTCP("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewTCPClient(map[quorum.ServerID]string{0: srv.Addr()})
+	defer client.Close()
+	go client.Call(context.Background(), 0, wire.PingRequest{})
+	<-started
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: in-flight handler context was not cancelled")
+	}
+}
+
+// TestTCPStatsAndCoalescing drives concurrent calls through one connection
+// and checks the wire counters: every frame accounted for, and flushes +
+// coalesced writes summing to frames written (the coalescing invariant).
+func TestTCPStatsAndCoalescing(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", &echoHandler{id: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient(map[quorum.ServerID]string{2: srv.Addr()})
+	defer client.Close()
+	const goroutines, calls = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls; i++ {
+				if _, err := client.Call(context.Background(), 2, wire.ReadRequest{Key: "k"}); err != nil {
+					t.Errorf("call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	const total = goroutines * calls
+	cs, ss := client.Stats(), srv.Stats()
+	if cs.Conns != 1 || ss.Conns != 1 {
+		t.Errorf("conns: client %d server %d, want 1", cs.Conns, ss.Conns)
+	}
+	if cs.FramesWritten != total || cs.FramesRead != total {
+		t.Errorf("client frames: wrote %d read %d, want %d", cs.FramesWritten, cs.FramesRead, total)
+	}
+	if ss.FramesRead != total || ss.FramesWritten != total {
+		t.Errorf("server frames: read %d wrote %d, want %d", ss.FramesRead, ss.FramesWritten, total)
+	}
+	for name, s := range map[string]TCPStats{"client": cs, "server": ss} {
+		if s.Flushes+s.WritesCoalesced != s.FramesWritten {
+			t.Errorf("%s: flushes %d + coalesced %d != frames written %d",
+				name, s.Flushes, s.WritesCoalesced, s.FramesWritten)
+		}
+		if s.BytesWritten == 0 || s.BytesRead == 0 {
+			t.Errorf("%s: byte counters did not advance: %+v", name, s)
+		}
+	}
+}
+
+// slowSinkConn is a net.Conn stub whose Write succeeds after a fixed delay,
+// emulating a socket slower than the producers feeding it.
+type slowSinkConn struct {
+	net.Conn // panics if any unimplemented method is called
+	delay    time.Duration
+}
+
+func (c slowSinkConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return len(p), nil
+}
+
+// TestFrameWriterCoalesces drives many concurrent writers into a frameWriter
+// over a slow sink and asserts that frames actually shared flushes: while
+// the flusher is inside one slow Flush, later writers append behind it and
+// must ride the next one.
+func TestFrameWriterCoalesces(t *testing.T) {
+	var stats tcpCounters
+	w := newFrameWriter(slowSinkConn{delay: 2 * time.Millisecond}, CodecBinary, &stats)
+	defer w.close()
+	const writers, frames = 16, 8
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				if err := w.writeFrame([]byte("frame-body")); err != nil {
+					t.Errorf("writeFrame: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Wait for the trailing flush to drain before reading counters.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := stats.snapshot()
+		if s.FramesWritten == writers*frames && func() bool {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return w.bw.Buffered() == 0
+		}() {
+			if s.WritesCoalesced == 0 {
+				t.Errorf("no coalescing under %d concurrent writers: %+v", writers, s)
+			}
+			if s.Flushes == 0 || s.Flushes+s.WritesCoalesced != s.FramesWritten {
+				t.Errorf("flush accounting: %+v", s)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("writer never drained: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

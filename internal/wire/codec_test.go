@@ -1,0 +1,245 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pqs/internal/ts"
+)
+
+// binaryRoundTrip encodes msg with the binary codec and decodes it back.
+func binaryRoundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	b, err := AppendMessage(nil, msg)
+	if err != nil {
+		t.Fatalf("AppendMessage(%T): %v", msg, err)
+	}
+	out, rest, err := DecodeMessage(b)
+	if err != nil {
+		t.Fatalf("DecodeMessage(%T): %v", msg, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("DecodeMessage(%T): %d trailing bytes", msg, len(rest))
+	}
+	return out
+}
+
+// gobRoundTrip encodes msg with encoding/gob (through an Envelope, as the
+// gob transport path does) and decodes it back.
+func gobRoundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	RegisterGob()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&Envelope{ID: 1, Payload: msg}); err != nil {
+		t.Fatalf("gob encode %T: %v", msg, err)
+	}
+	var out Envelope
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode %T: %v", msg, err)
+	}
+	return out.Payload
+}
+
+// randBytes draws a value/sig field biased toward the edge cases the codecs
+// must agree on: nil, empty, and occasionally large slices.
+func randBytes(r *rand.Rand) []byte {
+	switch r.Intn(5) {
+	case 0:
+		return nil
+	case 1:
+		return []byte{}
+	case 2:
+		b := make([]byte, 16+r.Intn(64))
+		r.Read(b)
+		return b
+	case 3:
+		b := make([]byte, 4096+r.Intn(8192)) // large value
+		r.Read(b)
+		return b
+	default:
+		b := make([]byte, 1+r.Intn(8))
+		r.Read(b)
+		return b
+	}
+}
+
+func randKey(r *rand.Rand) string {
+	if r.Intn(8) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("key-%d/%s", r.Intn(1000), strings.Repeat("x", r.Intn(40)))
+}
+
+func randStamp(r *rand.Rand) ts.Stamp {
+	return ts.Stamp{Counter: r.Uint64() >> uint(r.Intn(64)), Writer: uint32(r.Uint32() >> uint(r.Intn(32)))}
+}
+
+func randItems(r *rand.Rand) []Item {
+	switch r.Intn(4) {
+	case 0:
+		return nil
+	case 1:
+		return []Item{}
+	default:
+		items := make([]Item, r.Intn(20))
+		for i := range items {
+			items[i] = Item{Key: randKey(r), Value: randBytes(r), Stamp: randStamp(r), Sig: randBytes(r)}
+		}
+		return items
+	}
+}
+
+// TestBinaryMatchesGobRoundTrip is the codec equivalence property of the
+// data-plane fast path: for every one of the 8 wire message types, decoding
+// a binary encoding yields exactly what decoding a gob encoding yields —
+// including the nil/empty-slice normalization gob performs and multi-KB
+// values.
+func TestBinaryMatchesGobRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		msgs := []any{
+			ReadRequest{Key: randKey(r)},
+			ReadReply{Found: r.Intn(2) == 0, Value: randBytes(r), Stamp: randStamp(r), Sig: randBytes(r)},
+			WriteRequest{Key: randKey(r), Value: randBytes(r), Stamp: randStamp(r), Sig: randBytes(r)},
+			WriteReply{Stored: r.Intn(2) == 0},
+			GossipRequest{Entries: randItems(r)},
+			GossipReply{Entries: randItems(r)},
+			PingRequest{},
+			PingReply{ServerID: r.Intn(1 << 20)},
+		}
+		for _, m := range msgs {
+			viaBinary := binaryRoundTrip(t, m)
+			viaGob := gobRoundTrip(t, m)
+			if !reflect.DeepEqual(viaBinary, viaGob) {
+				t.Fatalf("trial %d, %T:\n binary RT: %#v\n    gob RT: %#v", i, m, viaBinary, viaGob)
+			}
+		}
+	}
+}
+
+func TestBinaryEnvelopeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		env := Envelope{
+			ID:      r.Uint64(),
+			Payload: WriteRequest{Key: randKey(r), Value: randBytes(r), Stamp: randStamp(r), Sig: randBytes(r)},
+		}
+		b, err := AppendEnvelope(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEnvelope(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Envelope{ID: env.ID, Payload: gobRoundTrip(t, env.Payload)}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("envelope round trip:\n got: %#v\nwant: %#v", got, want)
+		}
+	}
+}
+
+func TestBinaryReplyEnvelopeRoundTrip(t *testing.T) {
+	cases := []ReplyEnvelope{
+		{ID: 1, Payload: WriteReply{Stored: true}},
+		{ID: 2, Err: "storage exploded"}, // nil payload, error text
+		{ID: 3, Payload: ReadReply{Found: true, Value: []byte("v"), Stamp: ts.Stamp{Counter: 9, Writer: 2}}},
+		{ID: 1<<64 - 1, Payload: PingReply{ServerID: 41}},
+	}
+	for _, env := range cases {
+		b, err := AppendReplyEnvelope(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeReplyEnvelope(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", env, err)
+		}
+		if got.ID != env.ID || got.Err != env.Err {
+			t.Fatalf("reply round trip: got %+v want %+v", got, env)
+		}
+		if (got.Payload == nil) != (env.Payload == nil) {
+			t.Fatalf("payload presence: got %+v want %+v", got, env)
+		}
+	}
+}
+
+func TestAppendMessageRejectsUnknownType(t *testing.T) {
+	if _, err := AppendMessage(nil, struct{ X int }{1}); err == nil {
+		t.Fatal("expected error for non-wire payload type")
+	}
+}
+
+func TestDecodeMessageRejectsCorruptInput(t *testing.T) {
+	cases := [][]byte{
+		nil,                 // empty
+		{99},                // unknown tag
+		{TagReadRequest},    // missing key length
+		{TagReadReply, 1},   // truncated after found
+		{TagGossipReq, 250}, // item count exceeding buffer
+	}
+	for _, b := range cases {
+		if _, _, err := DecodeMessage(b); err == nil {
+			t.Errorf("DecodeMessage(%v) accepted corrupt input", b)
+		}
+	}
+	// A huge length prefix must be rejected before allocation.
+	b := append([]byte{TagReadRequest}, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, err := DecodeMessage(b); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("huge length: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+// FuzzDecodeMessage asserts the decoder never panics or over-allocates on
+// arbitrary bytes: whatever it accepts must re-encode.
+func FuzzDecodeMessage(f *testing.F) {
+	seed, err := AppendMessage(nil, WriteRequest{Key: "k", Value: []byte("v"), Stamp: ts.Stamp{Counter: 1, Writer: 2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{TagGossipReq, 3, 1, 'k', 0, 1, 1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, _, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		if _, err := AppendMessage(nil, msg); err != nil {
+			t.Fatalf("decoded message failed to re-encode: %v", err)
+		}
+	})
+}
+
+func TestBufferPool(t *testing.T) {
+	b := GetBuffer()
+	if len(*b) != 0 {
+		t.Fatalf("pooled buffer has length %d", len(*b))
+	}
+	*b = append(*b, make([]byte, 1024)...)
+	PutBuffer(b)
+	b2 := GetBuffer()
+	if len(*b2) != 0 {
+		t.Fatalf("recycled buffer has length %d", len(*b2))
+	}
+	PutBuffer(b2)
+}
+
+func TestCodecStatsAdvance(t *testing.T) {
+	before := Stats()
+	binaryRoundTrip(t, ReadRequest{Key: "stats"})
+	after := Stats()
+	if after.MessagesEncoded <= before.MessagesEncoded || after.MessagesDecoded <= before.MessagesDecoded {
+		t.Errorf("codec counters did not advance: %+v -> %+v", before, after)
+	}
+	if after.BytesEncoded <= before.BytesEncoded || after.BytesDecoded <= before.BytesDecoded {
+		t.Errorf("codec byte counters did not advance: %+v -> %+v", before, after)
+	}
+}

@@ -1,8 +1,46 @@
 // Package wire defines the messages exchanged between clients and replica
 // servers: the read and write RPCs of the paper's access protocols
 // (Sections 3.1, 4 and 5.2) plus the push-pull messages of the diffusion
-// mechanism (Section 1.1). Both transports carry these types; the TCP
-// transport additionally gob-encodes them, which is why RegisterGob exists.
+// mechanism (Section 1.1). Both transports carry these types. The TCP
+// transport serializes them with the hand-rolled binary codec in codec.go by
+// default, and can fall back to encoding/gob (which is why RegisterGob
+// exists) for wire-compat testing.
+//
+// # Binary wire format
+//
+// The TCP transport frames every message as
+//
+//	frame     := uvarint(len(body)) body
+//	body      := request | reply
+//	request   := uvarint(ID) tag(1 byte) payload
+//	reply     := uvarint(ID) string(Err) tag(1 byte) payload
+//	string    := uvarint(len) bytes
+//
+// where uvarint is Go's encoding/binary unsigned varint. The one-byte tag
+// selects the payload layout:
+//
+//	1 ReadRequest    key
+//	2 ReadReply      found value stamp sig
+//	3 WriteRequest   key value stamp sig
+//	4 WriteReply     stored
+//	5 GossipRequest  uvarint(count) item*
+//	6 GossipReply    uvarint(count) item*
+//	7 PingRequest    (empty)
+//	8 PingReply      varint(serverID)
+//	item             key value stamp sig
+//	stamp            uvarint(counter) uvarint(writer)
+//
+// found/stored are one byte (0/1); key is a string; value/sig are
+// length-prefixed byte fields where a zero length decodes to nil (matching a
+// gob round trip of an empty slice). Tag 0 is reserved: a reply whose
+// payload slot holds tag 0 carries no payload (error replies).
+//
+// Versioning rule: tags are append-only and never reused. Message layouts
+// are frozen once a tag ships — extending a message means minting a new tag
+// (and keeping the old decoder alive for one release), never appending
+// fields to an existing layout, because decoders reject frames with trailing
+// bytes. Unknown tags fail the frame, closing the connection, which is the
+// same failure mode as a gob type mismatch.
 package wire
 
 import (

@@ -224,6 +224,19 @@ func (s *System) PickWithSpares(r *rand.Rand, spares int) (q, spare []quorum.Ser
 
 var _ quorum.SpareSampler = (*System)(nil)
 
+// PickInto implements quorum.InplacePicker by forwarding to the underlying
+// construction, letting clients sample quorums into a reused buffer with
+// zero allocations (the data-plane fast path). Carriers without in-place
+// support degrade to an allocating Pick.
+func (s *System) PickInto(r *rand.Rand, dst []quorum.ServerID) []quorum.ServerID {
+	if ip, ok := s.System.(quorum.InplacePicker); ok {
+		return ip.PickInto(r, dst)
+	}
+	return append(dst[:0], s.System.Pick(r)...)
+}
+
+var _ quorum.InplacePicker = (*System)(nil)
+
 // WriterKey is a writer's signing identity for self-verifying data.
 type WriterKey struct {
 	// ID is the writer id embedded in timestamps.

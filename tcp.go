@@ -14,10 +14,12 @@ import (
 	"pqs/internal/ts"
 )
 
-// Server is one replica served over TCP (see ListenAndServe).
+// Server is one replica served over TCP (see ListenAndServe). Its
+// observability counters are exposed via Stats and AdminHandler (admin.go).
 type Server struct {
-	srv *transport.TCPServer
-	rep *replica.Replica
+	srv     *transport.TCPServer
+	rep     *replica.Replica
+	started time.Time
 
 	mu         sync.Mutex
 	gossipStop context.CancelFunc
@@ -37,7 +39,7 @@ func ListenAndServe(id int, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{srv: srv, rep: rep}, nil
+	return &Server{srv: srv, rep: rep, started: time.Now()}, nil
 }
 
 // Addr returns the server's bound address.

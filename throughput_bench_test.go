@@ -1,0 +1,240 @@
+// Throughput benchmarks for the data-plane fast path: codec encode/decode
+// cost, and end-to-end read/write ops/sec over the in-memory and TCP
+// transports. `make bench-json` runs exactly these and records the results
+// (ops/sec, ns/op, B/op, allocs/op) in BENCH_throughput.json so the perf
+// trajectory across PRs has data points; `make bench-smoke` (CI) runs them
+// for one iteration to guard against bit-rot.
+//
+// The gob sub-benchmarks are the pre-fast-path baseline, measured in the
+// same run as the binary codec so the headline ratios are apples-to-apples.
+package pqs_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"pqs"
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+// benchPayload is a realistic small value (a session blob / counter-sized
+// entry), the regime the paper's load analysis is about.
+var benchPayload = []byte("payload-of-realistic-size-0123456789")
+
+// codecMessages are the two hot-path messages the acceptance criteria
+// target: every read returns a ReadReply, every write sends a WriteRequest.
+func codecMessages() map[string]any {
+	stamp := ts.Stamp{Counter: 123456, Writer: 7}
+	return map[string]any{
+		"ReadReply":    wire.ReadReply{Found: true, Value: benchPayload, Stamp: stamp, Sig: nil},
+		"WriteRequest": wire.WriteRequest{Key: "bench-key", Value: benchPayload, Stamp: stamp, Sig: nil},
+	}
+}
+
+// BenchmarkCodecBinary measures an encode+decode round trip of one envelope
+// through the hand-rolled binary codec.
+func BenchmarkCodecBinary(b *testing.B) {
+	for name, msg := range codecMessages() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var scratch []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				scratch, err = wire.AppendEnvelope(scratch[:0], wire.Envelope{ID: uint64(i), Payload: msg})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wire.DecodeEnvelope(scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(scratch)))
+		})
+	}
+}
+
+// BenchmarkCodecGob measures the same round trip through encoding/gob with a
+// persistent encoder/decoder pair (the best case for gob: type descriptors
+// are sent once, exactly as on a long-lived connection).
+func BenchmarkCodecGob(b *testing.B) {
+	wire.RegisterGob()
+	for name, msg := range codecMessages() {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var buf bytes.Buffer
+			enc := gob.NewEncoder(&buf)
+			dec := gob.NewDecoder(&buf)
+			for i := 0; i < b.N; i++ {
+				if err := enc.Encode(&wire.Envelope{ID: uint64(i), Payload: msg}); err != nil {
+					b.Fatal(err)
+				}
+				var out wire.Envelope
+				if err := dec.Decode(&out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// reportOpsPerSec attaches the headline ops/sec metric.
+func reportOpsPerSec(b *testing.B) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "ops/sec")
+	}
+}
+
+// newThroughputMemClient is the standard throughput fixture: the paper's
+// n=100, ε ≤ 1e-3 construction (q=23) over an in-memory cluster with no
+// simulated latency, so the benchmark measures the protocol and data-plane
+// code itself.
+func newThroughputMemClient(b *testing.B) *pqs.Client {
+	b.Helper()
+	sys, err := pqs.New(pqs.Config{N: 100, Epsilon: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cluster, err := pqs.NewLocalCluster(sys.N(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := pqs.NewClient(pqs.ClientConfig{
+		System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client
+}
+
+// BenchmarkThroughputMemRead measures concurrent quorum reads over the
+// in-memory transport (n=100, q=23).
+func BenchmarkThroughputMemRead(b *testing.B) {
+	client := newThroughputMemClient(b)
+	ctx := context.Background()
+	if _, err := client.Write(ctx, "bench", benchPayload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.Read(ctx, "bench"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportOpsPerSec(b)
+}
+
+// BenchmarkThroughputMemWrite measures concurrent quorum writes over the
+// in-memory transport; each goroutine owns a key (single-writer protocol).
+func BenchmarkThroughputMemWrite(b *testing.B) {
+	client := newThroughputMemClient(b)
+	ctx := context.Background()
+	var goroutineID atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		key := fmt.Sprintf("bench-%d", goroutineID.Add(1))
+		for pb.Next() {
+			if _, err := client.Write(ctx, key, benchPayload); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportOpsPerSec(b)
+}
+
+// newThroughputTCPClient builds a 5-replica universe over real sockets with
+// the given codec and a q=3 client on one multiplexed connection per
+// server — the fixture for the binary-vs-gob data-plane comparison.
+func newThroughputTCPClient(b *testing.B, codec transport.Codec) *pqs.Client {
+	b.Helper()
+	const n = 5
+	addrs := make(map[quorum.ServerID]string, n)
+	for i := 0; i < n; i++ {
+		rep := replica.New(quorum.ServerID(i))
+		srv, err := transport.ListenTCPCodec("127.0.0.1:0", rep, codec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		addrs[quorum.ServerID(i)] = srv.Addr()
+	}
+	tc := transport.NewTCPClientCodec(addrs, codec)
+	b.Cleanup(func() { tc.Close() })
+	sys, err := pqs.New(pqs.Config{N: n, Q: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := pqs.NewClient(pqs.ClientConfig{System: sys, Transport: tc, WriterID: 1, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client
+}
+
+// benchTCP runs op concurrently against a TCP fixture per codec. Running
+// both codecs in one benchmark invocation makes the ops/sec ratio a
+// same-machine, same-run comparison.
+func benchTCP(b *testing.B, op func(ctx context.Context, client *pqs.Client, key string) error) {
+	for _, codec := range []transport.Codec{transport.CodecBinary, transport.CodecGob} {
+		b.Run(codec.String(), func(b *testing.B) {
+			client := newThroughputTCPClient(b, codec)
+			ctx := context.Background()
+			if _, err := client.Write(ctx, "bench", benchPayload); err != nil {
+				b.Fatal(err)
+			}
+			var goroutineID atomic.Int64
+			// Throughput regime: keep well more requests in flight than
+			// cores so the multiplexed connections stay busy (this is what
+			// exercises flush coalescing; a lone caller measures latency,
+			// not throughput).
+			b.SetParallelism(8)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("bench-%d", goroutineID.Add(1))
+				for pb.Next() {
+					if err := op(ctx, client, key); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			reportOpsPerSec(b)
+		})
+	}
+}
+
+// BenchmarkThroughputTCPRead measures concurrent quorum reads over real
+// sockets, binary codec vs the gob baseline in the same run.
+func BenchmarkThroughputTCPRead(b *testing.B) {
+	benchTCP(b, func(ctx context.Context, client *pqs.Client, _ string) error {
+		_, err := client.Read(ctx, "bench")
+		return err
+	})
+}
+
+// BenchmarkThroughputTCPWrite measures concurrent quorum writes over real
+// sockets, binary codec vs the gob baseline in the same run.
+func BenchmarkThroughputTCPWrite(b *testing.B) {
+	benchTCP(b, func(ctx context.Context, client *pqs.Client, key string) error {
+		_, err := client.Write(ctx, key, benchPayload)
+		return err
+	})
+}
