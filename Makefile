@@ -7,7 +7,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke
+.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke chaos-short fuzz-smoke
 
 all: ci
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/ ./internal/replica/
+	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/ ./internal/replica/ ./internal/chaos/ ./internal/diffusion/
 
 # tier1 is the repository's acceptance gate: it must pass from a clean
 # checkout.
@@ -53,3 +53,18 @@ bench-json:
 bench-smoke:
 	$(MAKE) bench-json BENCHTIME=1x
 	$(GO) run ./cmd/benchjson -check BENCH_throughput.json
+
+# The adversarial regression gate: the full chaos scenario matrix at small
+# trial counts (seconds, deterministic in CHAOS_SEED), plus the negative
+# scenario demonstrating the checker fails when ε exceeds the bound. A
+# failing seed replays locally with the same command or with
+# `go test ./internal/chaos -run TestChaos -chaos.seed=N`.
+CHAOS_SEED ?= 1
+chaos-short:
+	$(GO) run ./cmd/pqs-chaos -scale 1 -seed $(CHAOS_SEED) -negative
+
+# Ten seconds of coverage-guided fuzzing on the binary codec's decode
+# surface, so the FuzzDecodeMessage target actually executes in CI rather
+# than only replaying its seed corpus.
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/wire

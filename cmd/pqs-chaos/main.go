@@ -1,0 +1,136 @@
+// Command pqs-chaos runs the chaos scenario matrix from the command line
+// and emits a JSON report: one entry per scenario with the empirical ε, the
+// theorem bound, the checker's p-value and the PBS-style staleness-depth
+// distribution. The process exits non-zero if any shipped scenario fails
+// its bound, which is what makes it a CI gate (make chaos-short).
+//
+// Usage:
+//
+//	pqs-chaos                      # full matrix, scale 1, seed 1, JSON to stdout
+//	pqs-chaos -scale 5 -seed 7     # longer runs from another seed
+//	pqs-chaos -scenario 'masking/' # subset by substring
+//	pqs-chaos -list                # print scenario names and docs
+//	pqs-chaos -negative            # also run the intentionally failing
+//	                               # negative scenario (its failure is
+//	                               # expected and does not affect the exit
+//	                               # code; it demonstrates the checker)
+//
+// Every run is deterministic in -seed: a failing seed from CI reproduces
+// the identical history locally (see also: go test ./internal/chaos -run
+// TestChaos -chaos.seed=N).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pqs/internal/chaos"
+)
+
+// scenarioReport is one matrix entry of the JSON report.
+type scenarioReport struct {
+	chaos.Report
+	// Expected distinguishes the negative demo (expected to fail) from
+	// shipped scenarios (expected to pass).
+	Expected string `json:"expected"`
+}
+
+// matrixReport is the top-level JSON document.
+type matrixReport struct {
+	Seed      int64            `json:"seed"`
+	Scale     int              `json:"scale"`
+	Scenarios []scenarioReport `json:"scenarios"`
+	AllPass   bool             `json:"all_pass"`
+}
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "run seed (fixes every random choice)")
+		scale    = flag.Int("scale", 1, "trial-count multiplier (1 is the CI short run)")
+		match    = flag.String("scenario", "", "run only scenarios whose name contains this substring")
+		list     = flag.Bool("list", false, "list scenario names and exit")
+		negative = flag.Bool("negative", false, "also run the intentionally failing negative scenario")
+		out      = flag.String("o", "", "write the JSON report to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sc := range chaos.Scenarios() {
+			fmt.Printf("%-28s %s\n", sc.Name, sc.Doc)
+		}
+		return
+	}
+
+	report := matrixReport{Seed: *seed, Scale: *scale, AllPass: true}
+	ran := 0
+	for _, sc := range chaos.Scenarios() {
+		if *match != "" && !strings.Contains(sc.Name, *match) {
+			continue
+		}
+		ran++
+		cfg, err := sc.Build(*scale, *seed)
+		if err != nil {
+			fatalf("build %s: %v", sc.Name, err)
+		}
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			fatalf("run %s: %v", sc.Name, err)
+		}
+		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "pass"})
+		status := "PASS"
+		if !rep.Check.Pass {
+			status = "FAIL"
+			report.AllPass = false
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g\n",
+			sc.Name, status, rep.Check.EligibleEpsilon, rep.Check.EligibleBad,
+			rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue)
+	}
+	if ran == 0 {
+		fatalf("no scenario matches %q", *match)
+	}
+
+	if *negative {
+		cfg, err := chaos.NegativeConfig(*scale, *seed)
+		if err != nil {
+			fatalf("build negative: %v", err)
+		}
+		rep, err := chaos.Run(cfg)
+		if err != nil {
+			fatalf("run negative: %v", err)
+		}
+		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "fail"})
+		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f vs configured bound %.3g (failure expected)\n",
+			rep.Name, map[bool]string{true: "PASS(?)", false: "FAIL(expected)"}[rep.Check.Pass],
+			rep.Check.EligibleEpsilon, rep.Check.Bound)
+		if rep.Check.Pass {
+			// The demo exists to show the checker has teeth; it passing is a
+			// harness regression.
+			report.AllPass = false
+		}
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if !report.AllPass {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pqs-chaos: "+format+"\n", args...)
+	os.Exit(1)
+}

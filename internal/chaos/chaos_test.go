@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"flag"
+	"testing"
+
+	"pqs/internal/register"
+	"pqs/internal/ts"
+	"pqs/internal/wire"
+)
+
+// chaosSeed replays the scenario matrix from a chosen seed:
+//
+//	go test ./internal/chaos -run TestChaos -chaos.seed=N -v
+//
+// A failing CI seed pasted here reproduces the identical history locally —
+// that is the determinism contract under test below.
+var chaosSeed = flag.Int64("chaos.seed", 1, "seed for the chaos scenario matrix")
+
+// chaosScale multiplies per-scenario trial counts (CI runs 1).
+var chaosScale = flag.Int("chaos.scale", 1, "trial-count multiplier for the chaos scenario matrix")
+
+// TestChaosScenarios runs the full shipped matrix: every scenario must pass
+// its theorem bound at the checker's confidence, with zero hard violations.
+func TestChaosScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := sc.Build(*chaosScale, *chaosSeed)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			c := rep.Check
+			t.Logf("%s: reads=%d correct=%d stale=%d fooled=%d unavailable=%d eligible=%d/%d ε=%.5f (eligible ε=%.5f) bound=%.3g p=%.3g depth=%v",
+				sc.Name, c.Reads, c.Correct, c.Stale, c.Fooled, c.Unavailable,
+				c.EligibleBad, c.EligibleReads, c.Epsilon, c.EligibleEpsilon, c.Bound, c.PValue, c.StaleDepth)
+			for _, v := range c.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if !c.Pass {
+				t.Errorf("scenario %s failed its bound: eligible ε=%.5f over %d reads vs bound %.3g (p=%.3g); replay with -chaos.seed=%d",
+					sc.Name, c.EligibleEpsilon, c.EligibleReads, c.Bound, c.PValue, rep.Seed)
+			}
+		})
+	}
+}
+
+// TestScenarioLibrarySize pins the acceptance floor: at least 8 named
+// scenarios ship.
+func TestScenarioLibrarySize(t *testing.T) {
+	if n := len(Scenarios()); n < 8 {
+		t.Fatalf("scenario library has %d entries, want >= 8", n)
+	}
+	seen := map[string]bool{}
+	for _, sc := range Scenarios() {
+		if sc.Name == "" || sc.Doc == "" {
+			t.Errorf("scenario %+v missing name or doc", sc)
+		}
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if _, ok := Find(sc.Name); !ok {
+			t.Errorf("Find(%q) failed", sc.Name)
+		}
+	}
+}
+
+// TestChaosDeterminism is the determinism regression: two runs of every
+// scenario from the same seed must produce byte-identical histories. On
+// divergence it fails with the first divergent event.
+func TestChaosDeterminism(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg, err := sc.Build(1, *chaosSeed)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			cfg2, err := sc.Build(1, *chaosSeed)
+			if err != nil {
+				t.Fatalf("rebuild: %v", err)
+			}
+			b, err := Run(cfg2)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if d := a.History.Diff(b.History); d != "" {
+				t.Fatalf("seed %d did not replay:\n%s", *chaosSeed, d)
+			}
+			if a.Check.Pass != b.Check.Pass || a.Check.Epsilon != b.Check.Epsilon {
+				t.Fatalf("check verdicts diverge for identical histories")
+			}
+		})
+	}
+}
+
+// TestChaosSeedSensitivity guards against the opposite failure: a harness
+// that ignores its seed would trivially "replay". Different seeds must
+// (for at least one scenario) choose different access sets.
+func TestChaosSeedSensitivity(t *testing.T) {
+	sc, ok := Find("benign/calm")
+	if !ok {
+		t.Fatal("benign/calm missing")
+	}
+	cfgA, _ := sc.Build(1, 1)
+	cfgB, _ := sc.Build(1, 2)
+	a, err := Run(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := a.History.Diff(b.History); d == "" {
+		t.Fatal("seeds 1 and 2 produced identical histories; the harness is ignoring its seed")
+	}
+}
+
+// TestNegativeScenarioFails is the acceptance negative test: a Byzantine
+// scenario whose measured ε exceeds the configured bound must fail the
+// checker.
+func TestNegativeScenarioFails(t *testing.T) {
+	cfg, err := NegativeConfig(1, *chaosSeed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	c := rep.Check
+	t.Logf("negative: ε=%.4f (eligible %.4f over %d) bound=%.3g p=%.3g fooled=%d",
+		c.Epsilon, c.EligibleEpsilon, c.EligibleReads, c.Bound, c.PValue, c.Fooled)
+	if c.Fooled == 0 {
+		t.Fatalf("negative scenario fooled no reads; the adversary is toothless")
+	}
+	if c.EligibleEpsilon <= c.Bound {
+		t.Fatalf("measured ε %.4g not above the configured bound %.4g", c.EligibleEpsilon, c.Bound)
+	}
+	if c.Pass {
+		t.Fatalf("checker passed a run whose measured ε %.4f exceeds the configured bound %.3g", c.EligibleEpsilon, c.Bound)
+	}
+}
+
+// TestCheckClassification exercises the checker on a hand-written history.
+func TestCheckClassification(t *testing.T) {
+	st := func(c uint64) ts.Stamp { return ts.Stamp{Counter: c, Writer: 1} }
+	h := History{
+		{Seq: 0, Time: 0, Kind: OpWrite, Key: "a", Value: "v0", Stamp: st(1), Full: true},
+		{Seq: 1, Time: 0, Kind: OpRead, Key: "a", Value: "v0", Stamp: st(1), Found: true}, // correct
+		{Seq: 2, Time: 1, Kind: OpWrite, Key: "a", Value: "v1", Stamp: st(2), Full: true},
+		{Seq: 3, Time: 1, Kind: OpRead, Key: "a", Value: "v0", Stamp: st(1), Found: true}, // stale depth 1
+		{Seq: 4, Time: 2, Kind: OpWrite, Key: "a", Value: "v2", Stamp: st(3), Full: true},
+		{Seq: 5, Time: 2, Kind: OpRead, Key: "a", Value: "forged", Stamp: st(99), Found: true}, // fooled
+		{Seq: 6, Time: 3, Kind: OpRead, Key: "a", Found: false},                               // stale depth 3 (⊥ after 3 writes)
+		{Seq: 7, Time: 4, Kind: OpRead, Key: "a", Err: "no replies"},                          // unavailable
+		{Seq: 8, Time: 5, Kind: OpRead, Key: "b", Found: false},                               // correct (no writes to b)
+	}
+	res := Check(h, CheckConfig{Mode: register.Benign, Bound: 0.01})
+	if res.Correct != 2 || res.Stale != 2 || res.Fooled != 1 || res.Unavailable != 1 {
+		t.Fatalf("classification = correct %d stale %d fooled %d unavailable %d, want 2/2/1/1",
+			res.Correct, res.Stale, res.Fooled, res.Unavailable)
+	}
+	if res.StaleDepth[1] != 1 || res.StaleDepth[3] != 1 {
+		t.Fatalf("stale depth histogram = %v, want depth 1 and 3 once each", res.StaleDepth)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the fooled benign read", res.Violations)
+	}
+	if res.Pass {
+		t.Fatal("checker passed a history with a hard violation")
+	}
+	// The same fooled read in masking mode is not a violation, only ε.
+	res = Check(h, CheckConfig{Mode: register.Masking, Bound: 1})
+	if len(res.Violations) != 0 {
+		t.Fatalf("masking-mode violations = %v, want none", res.Violations)
+	}
+	if !res.Pass {
+		t.Fatal("bound 1 must pass without violations")
+	}
+}
+
+// TestHistoryDiff checks the divergence reporting the determinism test
+// relies on.
+func TestHistoryDiff(t *testing.T) {
+	a := History{{Seq: 0, Kind: OpWrite, Key: "k", Value: "x"}}
+	if d := a.Diff(History{{Seq: 0, Kind: OpWrite, Key: "k", Value: "x"}}); d != "" {
+		t.Fatalf("identical histories diff: %s", d)
+	}
+	if d := a.Diff(History{{Seq: 0, Kind: OpWrite, Key: "k", Value: "y"}}); d == "" {
+		t.Fatal("divergent value not reported")
+	}
+	if d := a.Diff(History{}); d == "" {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+// TestCorruptMessage checks the corruption helper: the mutated message must
+// either decode (and differ from the original in at least some runs) or be
+// reported undecodable — never panic, never return the original encoding's
+// identity for every draw.
+func TestCorruptMessage(t *testing.T) {
+	msg := wire.WriteRequest{Key: "k", Value: []byte("value"), Stamp: ts.Stamp{Counter: 7, Writer: 1}}
+	changed := 0
+	for r := uint64(0); r < 200; r++ {
+		out, ok := CorruptMessage(msg, splitmix64(r))
+		if !ok {
+			continue
+		}
+		if w, isW := out.(wire.WriteRequest); !isW || string(w.Value) != "value" || w.Key != "k" || w.Stamp != msg.Stamp {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("200 corruption draws never changed the message")
+	}
+}
+
+// TestEquivocatorUnique checks that an equivocator never repeats a pair —
+// the property that keeps it below any masking threshold k >= 2.
+func TestEquivocatorUnique(t *testing.T) {
+	e := &Equivocator{ID: 3}
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		r, err := e.OnRead("k", wire.ReadReply{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := string(r.Value) + r.Stamp.String()
+		if seen[key] {
+			t.Fatalf("equivocator repeated pair %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestMostSampledDeterministic checks placement stability and size.
+func TestMostSampledDeterministic(t *testing.T) {
+	sc, _ := Find("masking/colluders")
+	cfg, err := sc.Build(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := MostSampled(cfg.System, 5, 500, 42)
+	b := MostSampled(cfg.System, 5, 500, 42)
+	if len(a) != 5 {
+		t.Fatalf("MostSampled returned %d ids, want 5", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("MostSampled not deterministic: %v vs %v", a, b)
+		}
+	}
+}

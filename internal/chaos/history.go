@@ -1,0 +1,316 @@
+// History recording and the consistency checker: classify every read of a
+// recorded run against regular-register semantics per protocol mode,
+// compute the empirical ε of Theorems 3.2/4.2/5.2 and a PBS-style
+// staleness-depth distribution, and test the measured ε against the
+// theorem bound at a configured confidence.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"pqs/internal/combin"
+	"pqs/internal/quorum"
+	"pqs/internal/register"
+	"pqs/internal/ts"
+)
+
+// OpKind distinguishes history events.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one recorded client operation. Every field is part of the
+// determinism contract: two runs from the same seed must produce equal Ops.
+type Op struct {
+	// Seq is the operation's global sequence number (0-based).
+	Seq int `json:"seq"`
+	// Time is the logical time (the write/read pair index) the operation
+	// ran at; schedule events fire at pair boundaries.
+	Time int    `json:"t"`
+	Kind OpKind `json:"kind"`
+	Key  string `json:"key"`
+	// Value is the written value, or the value the read returned.
+	Value string `json:"value,omitempty"`
+	// Stamp is the write's assigned timestamp, or the stamp attached to the
+	// value the read accepted.
+	Stamp ts.Stamp `json:"stamp"`
+	// Found reports a read's Found outcome (⊥ is Found == false).
+	Found bool `json:"found,omitempty"`
+	// Full reports whether a write was acknowledged by its entire access
+	// set — the premise of the consistency theorems. Reads following a
+	// non-full write are recorded and classified but excluded from the
+	// bound test (see CheckResult.EligibleReads).
+	Full bool `json:"full,omitempty"`
+	// Quorum is the access set the strategy chose for the operation.
+	Quorum []quorum.ServerID `json:"quorum,omitempty"`
+	// Err is the operation's error text ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// equal reports whether two ops are identical, including access sets.
+func (o Op) equal(p Op) bool {
+	if o.Seq != p.Seq || o.Time != p.Time || o.Kind != p.Kind || o.Key != p.Key ||
+		o.Value != p.Value || o.Stamp != p.Stamp || o.Found != p.Found ||
+		o.Full != p.Full || o.Err != p.Err || len(o.Quorum) != len(p.Quorum) {
+		return false
+	}
+	for i := range o.Quorum {
+		if o.Quorum[i] != p.Quorum[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders an op compactly for diffs.
+func (o Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d t=%d %s %s", o.Seq, o.Time, o.Kind, o.Key)
+	if o.Kind == OpWrite {
+		fmt.Fprintf(&b, " value=%q stamp=%v full=%v", o.Value, o.Stamp, o.Full)
+	} else {
+		fmt.Fprintf(&b, " found=%v value=%q stamp=%v", o.Found, o.Value, o.Stamp)
+	}
+	fmt.Fprintf(&b, " quorum=%v", o.Quorum)
+	if o.Err != "" {
+		fmt.Fprintf(&b, " err=%q", o.Err)
+	}
+	return b.String()
+}
+
+// History is the ordered record of a run's client operations.
+type History []Op
+
+// Diff returns "" when the histories are identical, and otherwise a
+// description of the first divergent event (or the length mismatch),
+// rendered with both sides — the output the determinism regression test
+// fails with.
+func (h History) Diff(other History) string {
+	n := len(h)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if !h[i].equal(other[i]) {
+			return fmt.Sprintf("events diverge at index %d:\n  a: %s\n  b: %s", i, h[i], other[i])
+		}
+	}
+	if len(h) != len(other) {
+		return fmt.Sprintf("history lengths diverge: %d vs %d events (first %d equal)", len(h), len(other), n)
+	}
+	return ""
+}
+
+// CheckConfig parameterizes the consistency checker.
+type CheckConfig struct {
+	// Mode is the protocol mode the history was produced under.
+	Mode register.Mode
+	// Bound is the per-read failure probability the theorems allow (the ε
+	// of Theorem 3.2, 4.2 or 5.2 for the system under test). 1 disables
+	// the statistical test (violations are still checked).
+	Bound float64
+	// Alpha is the p-value below which the measured ε is declared to
+	// exceed Bound (the configured confidence). Default 1e-6: the checker
+	// only fails when the observed stale count would happen less than one
+	// time in a million under the bound — deterministic-friendly, since a
+	// seed either fails reproducibly or passes reproducibly.
+	Alpha float64
+}
+
+// DefaultAlpha is CheckConfig.Alpha's default.
+const DefaultAlpha = 1e-6
+
+// CheckResult is the checker's verdict over one history.
+type CheckResult struct {
+	// Reads counts read operations; Correct/Stale/Fooled/Unavailable
+	// partition them. A read is Correct when it returned the latest
+	// completed genuine write (or ⊥ before any write), Stale when it
+	// returned an older genuine pair or ⊥, Fooled when it returned a
+	// value-stamp pair no writer ever produced, and Unavailable when it
+	// errored.
+	Reads       int `json:"reads"`
+	Correct     int `json:"correct"`
+	Stale       int `json:"stale"`
+	Fooled      int `json:"fooled"`
+	Unavailable int `json:"unavailable"`
+
+	// Epsilon is the empirical per-read failure rate over all classified
+	// reads: (Stale+Fooled) / (Correct+Stale+Fooled).
+	Epsilon float64 `json:"epsilon"`
+
+	// EligibleReads counts reads whose key's latest write attempt
+	// completed with a full access set — the reads the theorems' premise
+	// covers. EligibleBad counts those that were stale or fooled;
+	// EligibleEpsilon is their ratio, the empirical ε tested against
+	// Bound.
+	EligibleReads   int     `json:"eligible_reads"`
+	EligibleBad     int     `json:"eligible_bad"`
+	EligibleEpsilon float64 `json:"eligible_epsilon"`
+
+	// StaleDepth is the PBS-style staleness distribution over *genuine*
+	// values: StaleDepth[d] counts stale reads that returned a value d
+	// completed writes old (⊥ after w completed writes counts at depth w).
+	// Depth 0 reads are Correct; fooled reads returned fabricated pairs
+	// with no meaningful depth and are counted only in Fooled.
+	StaleDepth map[int]int `json:"stale_depth,omitempty"`
+
+	// Bound and PValue report the statistical test: PValue is the exact
+	// binomial probability of observing at least EligibleBad failures in
+	// EligibleReads reads if the true per-read failure rate were Bound.
+	Bound  float64 `json:"bound"`
+	PValue float64 `json:"p_value"`
+
+	// Violations lists hard safety violations: reads that returned a
+	// fabricated pair in a mode whose acceptance rule rules them out
+	// entirely (benign with no Byzantine faults modeled, and
+	// dissemination, where signatures must reject every forgery).
+	// Masking reads may be fooled with probability ε, so there fooled
+	// reads count toward the bound instead.
+	Violations []string `json:"violations,omitempty"`
+
+	// Pass is the overall verdict: no violations, and the measured ε is
+	// statistically consistent with Bound (PValue >= Alpha).
+	Pass bool `json:"pass"`
+}
+
+// writeRec is one write attempt as seen by the checker.
+type writeRec struct {
+	value     string
+	stamp     ts.Stamp
+	completed bool // the write returned success
+	full      bool // every access-set member acknowledged
+}
+
+// Check classifies every read in h against the writes that preceded it and
+// tests the empirical ε against cfg.Bound at confidence cfg.Alpha.
+func Check(h History, cfg CheckConfig) CheckResult {
+	if cfg.Alpha == 0 {
+		cfg.Alpha = DefaultAlpha
+	}
+	if cfg.Bound == 0 {
+		cfg.Bound = 1
+	}
+	res := CheckResult{StaleDepth: make(map[int]int), Bound: cfg.Bound}
+	writes := make(map[string][]writeRec)
+	completed := make(map[string]int) // completed-write count per key
+
+	for _, op := range h {
+		switch op.Kind {
+		case OpWrite:
+			rec := writeRec{value: op.Value, stamp: op.Stamp, completed: op.Err == "", full: op.Err == "" && op.Full}
+			writes[op.Key] = append(writes[op.Key], rec)
+			if rec.completed {
+				completed[op.Key]++
+			}
+		case OpRead:
+			res.Reads++
+			eligible := false
+			if ws := writes[op.Key]; len(ws) > 0 {
+				last := ws[len(ws)-1]
+				eligible = last.completed && last.full
+			} else {
+				eligible = true // reads before any write trivially satisfy the premise
+			}
+			if eligible {
+				res.EligibleReads++
+			}
+			class, depth := classifyRead(op, writes[op.Key], completed[op.Key])
+			switch class {
+			case readUnavailable:
+				res.Unavailable++
+				if eligible {
+					res.EligibleReads-- // errored reads carry no consistency verdict
+				}
+				continue
+			case readCorrect:
+				res.Correct++
+			case readStale:
+				res.Stale++
+				res.StaleDepth[depth]++
+			case readFooled:
+				res.Fooled++
+				if cfg.Mode != register.Masking {
+					res.Violations = append(res.Violations, fmt.Sprintf(
+						"op #%d: %s mode read of %q returned fabricated pair (%q, %v)",
+						op.Seq, cfg.Mode, op.Key, op.Value, op.Stamp))
+				}
+			}
+			if eligible && class != readCorrect {
+				res.EligibleBad++
+			}
+		}
+	}
+	if cl := res.Correct + res.Stale + res.Fooled; cl > 0 {
+		res.Epsilon = float64(res.Stale+res.Fooled) / float64(cl)
+	}
+	if res.EligibleReads > 0 {
+		res.EligibleEpsilon = float64(res.EligibleBad) / float64(res.EligibleReads)
+	}
+	res.PValue = 1
+	if res.EligibleBad > 0 && cfg.Bound < 1 {
+		res.PValue = combin.BinomialTailGE(res.EligibleReads, cfg.Bound, res.EligibleBad)
+	}
+	res.Pass = len(res.Violations) == 0 && res.PValue >= cfg.Alpha
+	return res
+}
+
+// read classifications.
+type readClass int
+
+const (
+	readCorrect readClass = iota
+	readStale
+	readFooled
+	readUnavailable
+)
+
+// classifyRead matches a read against the write record of its key. depth is
+// the number of completed writes newer than what the read returned.
+func classifyRead(op Op, ws []writeRec, completedCount int) (readClass, int) {
+	if op.Err != "" {
+		return readUnavailable, 0
+	}
+	if !op.Found {
+		if completedCount == 0 {
+			return readCorrect, 0
+		}
+		return readStale, completedCount
+	}
+	// Genuine iff the exact (value, stamp) pair was produced by a write
+	// attempt (completed or not: a failed write may still have reached some
+	// members, so reading it back is staleness, not fabrication).
+	newerCompleted := completedCount
+	for _, w := range ws {
+		if w.completed {
+			newerCompleted--
+		}
+		if w.value == op.Value && w.stamp == op.Stamp {
+			if w.completed && newerCompleted == 0 {
+				return readCorrect, 0
+			}
+			depth := newerCompleted
+			if depth < 1 {
+				depth = 1 // an uncompleted latest write read back: one behind the last completed state
+			}
+			return readStale, depth
+		}
+	}
+	return readFooled, completedCount + 1
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pqs/internal/quorum"
+	"pqs/internal/register"
+	"pqs/internal/replica"
+	"pqs/internal/sim"
+	"pqs/internal/sv"
+	"pqs/internal/ts"
+)
+
+// Config drives one chaos run.
+type Config struct {
+	// Name labels the run in reports.
+	Name string
+	// System is the quorum system under test.
+	System quorum.System
+	// Mode selects the access protocol; K is the masking threshold.
+	Mode register.Mode
+	K    int
+	// Ops is the number of write-then-read pairs. Each pair writes a fresh
+	// version of a key from a rotating set of Keys keys (default 8) and
+	// reads it back, so staleness has measurable depth (the PBS-style
+	// distribution in CheckResult.StaleDepth).
+	Ops int
+	// Keys is the rotating key-set size (default 8, clamped to Ops).
+	Keys int
+	// Seed fixes every random choice of the run. Two runs with equal
+	// Config produce equal Histories.
+	Seed int64
+	// Schedule is the fault script, applied at pair boundaries.
+	Schedule Schedule
+	// Bound is the theorem's per-read ε for the system under test; Alpha
+	// the checker confidence (see CheckConfig).
+	Bound float64
+	Alpha float64
+}
+
+// Report is the outcome of a chaos run.
+type Report struct {
+	Name     string      `json:"name"`
+	Seed     int64       `json:"seed"`
+	System   string      `json:"system"`
+	Mode     string      `json:"mode"`
+	Ops      int         `json:"ops"`
+	Schedule string      `json:"schedule,omitempty"`
+	Check    CheckResult `json:"check"`
+	// History is the full operation record (omitted from JSON reports;
+	// replay the seed to regenerate it).
+	History History `json:"-"`
+}
+
+// Run executes cfg: it stands up a cluster with a deterministic fault
+// engine, plays the schedule while driving write-then-read pairs, records
+// every operation, and checks the resulting history. The returned report's
+// Check field carries the verdict; Run itself errors only on setup or
+// harness failures, never on consistency violations.
+func Run(cfg Config) (*Report, error) {
+	if cfg.System == nil {
+		return nil, errors.New("chaos: Config.System is required")
+	}
+	if cfg.Ops <= 0 {
+		return nil, errors.New("chaos: Config.Ops must be positive")
+	}
+	keys := cfg.Keys
+	if keys <= 0 {
+		keys = 8
+	}
+	if keys > cfg.Ops {
+		keys = cfg.Ops
+	}
+
+	cluster := sim.NewCluster(cfg.System.N(), cfg.Seed)
+	eng := NewEngine(cfg.Seed + 0x9E3779B9)
+	cluster.Net.SetLinkHook(eng)
+
+	opts := register.Options{
+		System:    cfg.System,
+		Mode:      cfg.Mode,
+		K:         cfg.K,
+		Transport: cluster.Net,
+		Rand:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:     ts.NewClock(1),
+	}
+	if cfg.Mode == register.Dissemination {
+		kp, err := sv.GenerateKey(sim.SeededReader(cfg.Seed + 2))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: generate key: %w", err)
+		}
+		reg := sv.NewRegistry()
+		reg.Add(1, kp.Public)
+		opts.Signer = kp.Private
+		opts.Registry = reg
+	}
+	client, err := register.NewClient(opts)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: client: %w", err)
+	}
+
+	rt := &runtime{cluster: cluster, eng: eng, byID: make(map[quorum.ServerID]*replica.Replica)}
+	for _, r := range cluster.Replicas {
+		rt.byID[r.ID()] = r
+	}
+	events := make([]Event, len(cfg.Schedule))
+	copy(events, cfg.Schedule)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+
+	ctx := context.Background()
+	hist := make(History, 0, 2*cfg.Ops)
+	seq := 0
+	next := 0
+	for t := 0; t < cfg.Ops; t++ {
+		for next < len(events) && events[next].T <= t {
+			for _, act := range events[next].Acts {
+				act.apply(rt)
+			}
+			next++
+		}
+		key := fmt.Sprintf("k%d", t%keys)
+		value := fmt.Sprintf("v%d", t)
+
+		wr, werr := client.Write(ctx, key, []byte(value))
+		wop := Op{
+			Seq: seq, Time: t, Kind: OpWrite, Key: key, Value: value,
+			Stamp:  wr.Stamp,
+			Full:   werr == nil && len(wr.Acked) == len(wr.Quorum),
+			Quorum: wr.Quorum,
+		}
+		if werr != nil {
+			wop.Err = werr.Error()
+		}
+		hist = append(hist, wop)
+		seq++
+
+		rr, rerr := client.Read(ctx, key)
+		rop := Op{
+			Seq: seq, Time: t, Kind: OpRead, Key: key,
+			Value: string(rr.Value), Stamp: rr.Stamp, Found: rr.Found,
+			Quorum: rr.Quorum,
+		}
+		if rerr != nil {
+			rop.Err = rerr.Error()
+		}
+		hist = append(hist, rop)
+		seq++
+	}
+	client.WaitDrained()
+
+	rep := &Report{
+		Name:     cfg.Name,
+		Seed:     cfg.Seed,
+		System:   cfg.System.Name(),
+		Mode:     cfg.Mode.String(),
+		Ops:      cfg.Ops,
+		Schedule: cfg.Schedule.String(),
+		History:  hist,
+		Check:    Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha}),
+	}
+	return rep, nil
+}

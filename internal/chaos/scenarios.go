@@ -1,0 +1,272 @@
+// The named scenario library: every scenario is a Config builder, so the
+// test suite, the CLI (cmd/pqs-chaos) and CI all run the same matrix.
+//
+// A scenario's Bound is the theorem's ε for its system (Theorem 3.16 for
+// ε-intersecting, Theorem 4.4 for dissemination, Theorem 5.10 for masking),
+// so the checker enforces exactly the paper's claim under that scenario's
+// adversary. Fault intensities are chosen so the premise degradation the
+// theorems do not model (partial writes under crashes, etc.) is absorbed by
+// the eligibility filter (CheckResult.EligibleReads) and the runs pass with
+// real margin; the negative scenario shows the checker has teeth.
+package chaos
+
+import (
+	"time"
+
+	"pqs/internal/core"
+	"pqs/internal/quorum"
+	"pqs/internal/register"
+)
+
+// Scenario is one named entry of the chaos matrix.
+type Scenario struct {
+	Name string
+	// Doc is a one-line description for -list and the README.
+	Doc string
+	// Build instantiates the scenario at the given scale (trial-count
+	// multiplier; 1 is the CI-friendly short run) and seed.
+	Build func(scale int, seed int64) (Config, error)
+}
+
+// baseN is the universe size every shipped scenario uses.
+const baseN = 100
+
+// ids returns [from, from+count) as server ids.
+func ids(from, count int) []quorum.ServerID {
+	out := make([]quorum.ServerID, count)
+	for i := range out {
+		out[i] = quorum.ServerID(from + i)
+	}
+	return out
+}
+
+// Scenarios returns the shipped scenario library. Every entry passes its
+// theorem bound; run them via cmd/pqs-chaos or the chaos tests.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "benign/calm",
+			Doc:  "no faults; empirical ε of R(n, 3√n) vs the e^{-ℓ²} bound of Theorem 3.16",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 3)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "benign/calm", System: sys, Mode: register.Benign,
+					Ops: 150 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+				}, nil
+			},
+		},
+		{
+			Name: "benign/lossy-dup-reorder",
+			Doc:  "2% deterministic loss + 10% duplication + delivery-delay jitter; loss shrinks write coverage, duplication and shuffled reply arrival must be harmless",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "benign/lossy-dup-reorder", System: sys, Mode: register.Benign,
+					Ops: 150 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Drop(0.02), Duplicate(0.10), Reorder(200*time.Microsecond)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/crash-wave",
+			Doc:  "8 servers crash mid-run and recover later; reads over the gap must stay within ε",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "benign/crash-wave", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(ops/3, Crash(ids(20, 8)...)),
+						At(2*ops/3, Recover(ids(20, 8)...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/partition-flap",
+			Doc:  "an asymmetric partition (inbound links cut) flaps on and off twice",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				group := ids(90, 8)
+				return Config{
+					Name: "benign/partition-flap", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(ops/5, BlockInbound(group...)),
+						At(2*ops/5, Heal()),
+						At(3*ops/5, BlockInbound(group...)),
+						At(4*ops/5, Heal()),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/churn",
+			Doc:  "6 servers leave the membership mid-run and rejoin empty later",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				churned := ids(40, 6)
+				return Config{
+					Name: "benign/churn", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(ops/3, Leave(churned...)),
+						At(2*ops/3, Join(churned...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/slow-lorris",
+			Doc:  "10 servers answer ever more slowly; slowness must never affect safety, only latency",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 3)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "benign/slow-lorris", System: sys, Mode: register.Benign,
+					Ops: 60 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, SlowDown(20*time.Microsecond, 500*time.Microsecond, ids(0, 10)...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "dissem/forgers",
+			Doc:  "b=10 colluding forgers with overwhelming timestamps; signatures must reject every forgery (a single fooled read is a hard violation)",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewDisseminationEll(baseN, 10, 3.5)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "dissem/forgers", System: sys, Mode: register.Dissemination,
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Collude("forged:dissem", ids(0, sys.B())...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "dissem/corrupt",
+			Doc:  "5% frame corruption on every link plus b=10 forgers; corrupted writes store unverifiable garbage that reads must discard",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewDisseminationEll(baseN, 10, 3.5)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "dissem/corrupt", System: sys, Mode: register.Dissemination,
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Corrupt(0.05), Collude("forged:corrupt", ids(0, sys.B())...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "masking/colluders",
+			Doc:  "a colluding B-set placed on the strategy's most-sampled servers; the threshold k must keep P(fooled) within Theorem 5.10's ε",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewMasking(baseN, 35, 5)
+				if err != nil {
+					return Config{}, err
+				}
+				targets := MostSampled(sys, sys.B(), 2000, seed+7)
+				return Config{
+					Name: "masking/colluders", System: sys, Mode: register.Masking, K: sys.K(),
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Collude("forged:mask", targets...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "masking/equivocate",
+			Doc:  "b=8 equivocators hand every reader a different fabricated pair; no pair can reach k vouchers",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewMasking(baseN, 40, 8)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "masking/equivocate", System: sys, Mode: register.Masking, K: sys.K(),
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Equivocate(ids(0, sys.B())...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "masking/stale-echo",
+			Doc:  "b=5 stale echoes acknowledge writes they never apply; timestamp order must defeat the old-value attack",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewMasking(baseN, 35, 5)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "masking/stale-echo", System: sys, Mode: register.Masking, K: sys.K(),
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, StaleEchoes(ids(0, sys.B())...)),
+					},
+				}, nil
+			},
+		},
+	}
+}
+
+// Find returns the named scenario.
+func Find(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// NegativeConfig is the intentionally failing configuration the negative
+// test (and cmd/pqs-chaos -negative) runs: an overrun masking system —
+// b = 20 colluders against threshold k = 3, where the colluders reach the
+// threshold in ~80% of reads — checked against a bound (1e-9) far below
+// the measured ε. The checker MUST fail it; it is not part of Scenarios().
+func NegativeConfig(scale int, seed int64) (Config, error) {
+	sys, err := core.NewMaskingWithK(baseN, 20, 20, 3)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Name: "negative/masking-overrun", System: sys, Mode: register.Masking, K: sys.K(),
+		Ops: 40 * scale, Seed: seed, Bound: 1e-9,
+		Schedule: Schedule{
+			At(0, Collude("forged:overrun", ids(0, sys.B())...)),
+		},
+	}, nil
+}

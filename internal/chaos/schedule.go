@@ -1,0 +1,205 @@
+// The scenario DSL: a Schedule is a list of events fired at logical times
+// (write/read pair indices), each carrying actions that mutate the network,
+// the membership, or replica behaviors. Because actions fire at operation
+// boundaries and contain no randomness of their own, a schedule replays
+// identically from the run seed.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/sim"
+)
+
+// Action is one step of a fault schedule.
+type Action interface {
+	apply(rt *runtime)
+	String() string
+}
+
+// Event fires one or more actions at logical time T (before the T-th
+// write/read pair runs).
+type Event struct {
+	T    int
+	Acts []Action
+}
+
+// At builds an event: At(100, Partition(...), Drop(0.1)).
+func At(t int, acts ...Action) Event { return Event{T: t, Acts: acts} }
+
+// Schedule is an ordered fault script. Events may be listed in any order;
+// Run sorts them by time (stable, so same-time events fire in listing
+// order).
+type Schedule []Event
+
+// String renders the schedule for reports.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for i, ev := range s {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		names := make([]string, len(ev.Acts))
+		for j, a := range ev.Acts {
+			names[j] = a.String()
+		}
+		fmt.Fprintf(&b, "@%d %s", ev.T, strings.Join(names, ","))
+	}
+	return b.String()
+}
+
+// runtime is the mutable state actions operate on.
+type runtime struct {
+	cluster *sim.Cluster
+	eng     *Engine
+	byID    map[quorum.ServerID]*replica.Replica
+}
+
+// actionFunc adapts a closure to Action.
+type actionFunc struct {
+	name string
+	fn   func(rt *runtime)
+}
+
+func (a actionFunc) apply(rt *runtime) { a.fn(rt) }
+func (a actionFunc) String() string    { return a.name }
+
+// Crash marks servers crashed (calls fail with ErrCrashed).
+func Crash(ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("crash%v", ids), func(rt *runtime) {
+		for _, id := range ids {
+			rt.cluster.Net.Crash(id)
+		}
+	}}
+}
+
+// Recover clears servers' crashed state.
+func Recover(ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("recover%v", ids), func(rt *runtime) {
+		for _, id := range ids {
+			rt.cluster.Net.Recover(id)
+		}
+	}}
+}
+
+// Leave departs servers from the membership: subsequent calls to them fail
+// with ErrUnknownServer, as if the address were gone.
+func Leave(ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("leave%v", ids), func(rt *runtime) {
+		for _, id := range ids {
+			rt.cluster.Net.Deregister(id)
+		}
+	}}
+}
+
+// Join (re-)joins servers with fresh, empty replicas — a rejoining server
+// remembers nothing, the hardest membership-churn case for consistency.
+func Join(ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("join%v", ids), func(rt *runtime) {
+		for _, id := range ids {
+			r := replica.New(id)
+			if _, ok := rt.byID[id]; ok {
+				for i, old := range rt.cluster.Replicas {
+					if old.ID() == id {
+						rt.cluster.Replicas[i] = r
+					}
+				}
+			} else {
+				rt.cluster.Replicas = append(rt.cluster.Replicas, r)
+			}
+			rt.byID[id] = r
+			rt.cluster.Net.Register(id, r)
+		}
+	}}
+}
+
+// BlockInbound severs every link *into* the listed servers (clients and
+// peers cannot reach them; their own outbound calls still flow) — an
+// asymmetric partition.
+func BlockInbound(ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("block-in%v", ids), func(rt *runtime) {
+		for _, id := range ids {
+			rt.eng.Block(Any, id)
+		}
+	}}
+}
+
+// BlockLink severs one directed link (from may be transport.ClientSource or
+// Any).
+func BlockLink(from, to quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("block(%d->%d)", from, to), func(rt *runtime) {
+		rt.eng.Block(from, to)
+	}}
+}
+
+// Heal removes every block and zeroes every link-fault probability.
+func Heal() Action {
+	return actionFunc{"heal", func(rt *runtime) { rt.eng.Heal() }}
+}
+
+// Drop sets the deterministic per-call loss probability.
+func Drop(p float64) Action {
+	return actionFunc{fmt.Sprintf("drop(%g)", p), func(rt *runtime) { rt.eng.SetDrop(p) }}
+}
+
+// Duplicate sets the per-call duplication probability.
+func Duplicate(p float64) Action {
+	return actionFunc{fmt.Sprintf("dup(%g)", p), func(rt *runtime) { rt.eng.SetDuplicate(p) }}
+}
+
+// Corrupt sets the per-call frame-corruption probability.
+func Corrupt(p float64) Action {
+	return actionFunc{fmt.Sprintf("corrupt(%g)", p), func(rt *runtime) { rt.eng.SetCorrupt(p) }}
+}
+
+// Reorder sets the maximum extra per-call delivery delay (message
+// reordering).
+func Reorder(max time.Duration) Action {
+	return actionFunc{fmt.Sprintf("reorder(%v)", max), func(rt *runtime) { rt.eng.SetReorder(max) }}
+}
+
+// Behave installs a behavior on the listed replicas (shared instance; use
+// BehaveEach for stateful behaviors).
+func Behave(b replica.Behavior, ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("behave%v", ids), func(rt *runtime) {
+		Install(rt.cluster, b, ids...)
+	}}
+}
+
+// BehaveEach installs a freshly built behavior per listed replica.
+func BehaveEach(mk func(id quorum.ServerID) replica.Behavior, ids ...quorum.ServerID) Action {
+	return actionFunc{fmt.Sprintf("behave-each%v", ids), func(rt *runtime) {
+		InstallEach(rt.cluster, mk, ids...)
+	}}
+}
+
+// Collude turns the listed replicas into a colluding forger set serving the
+// given fabricated value.
+func Collude(value string, ids ...quorum.ServerID) Action {
+	return Behave(Colluders(value), ids...)
+}
+
+// Equivocate turns the listed replicas into equivocators.
+func Equivocate(ids ...quorum.ServerID) Action {
+	return BehaveEach(func(id quorum.ServerID) replica.Behavior { return &Equivocator{ID: id} }, ids...)
+}
+
+// StaleEchoes turns the listed replicas into stale echoes.
+func StaleEchoes(ids ...quorum.ServerID) Action {
+	return Behave(StaleEcho(), ids...)
+}
+
+// SlowDown turns the listed replicas into slow lorrises (per-replica
+// escalating delay, capped at max).
+func SlowDown(step, max time.Duration, ids ...quorum.ServerID) Action {
+	return BehaveEach(func(quorum.ServerID) replica.Behavior { return &SlowLorris{Step: step, Max: max} }, ids...)
+}
+
+// Restore resets the listed replicas to correct behavior.
+func Restore(ids ...quorum.ServerID) Action {
+	return Behave(replica.Correct{}, ids...)
+}

@@ -1,0 +1,165 @@
+package diffusion
+
+import (
+	"context"
+	"testing"
+
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
+	"pqs/internal/ts"
+)
+
+// seedEntry plants a value at one replica, as a completed write would.
+func seedEntry(r *replica.Replica, key string, counter uint64) {
+	r.Store().Apply(key, replica.Entry{Value: []byte("v"), Stamp: ts.Stamp{Counter: counter, Writer: 1}})
+}
+
+// storesConverged reports whether every engine's store holds key at or
+// above the stamp.
+func storesConverged(g *Group, key string, counter uint64) bool {
+	for _, e := range g.engines {
+		entry, ok := e.cfg.Store.Get(key)
+		if !ok || entry.Stamp.Counter < counter {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGossipConvergesUnderChurn drives the new-membership path: servers
+// leave mid-diffusion (their engines stop and their addresses vanish from
+// the network) and fresh, empty servers join; gossip must still converge
+// over the current membership. This is the churn coverage the static
+// tests cannot give.
+func TestGossipConvergesUnderChurn(t *testing.T) {
+	const n = 10
+	net := transport.NewMemNetwork(7)
+	reps := make([]*replica.Replica, n)
+	for i := range reps {
+		reps[i] = replica.New(quorum.ServerID(i))
+		net.Register(quorum.ServerID(i), reps[i])
+	}
+	g, err := NewGroup(reps, net, 2, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedEntry(reps[0], "k", 1)
+
+	ctx := context.Background()
+	// A couple of rounds to start spreading, then churn: two members leave
+	// (one of which may already hold the entry), two fresh ones join empty.
+	for i := 0; i < 2; i++ {
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []quorum.ServerID{3, 4} {
+		if !g.Remove(id) {
+			t.Fatalf("Remove(%d) found no member", id)
+		}
+		net.Deregister(id)
+	}
+	joined := make([]*replica.Replica, 0, 2)
+	for _, id := range []quorum.ServerID{10, 11} {
+		r := replica.New(id)
+		net.Register(id, r)
+		if err := g.Add(r); err != nil {
+			t.Fatal(err)
+		}
+		joined = append(joined, r)
+	}
+	if got := len(g.Engines()); got != n {
+		t.Fatalf("membership after churn = %d engines, want %d", got, n)
+	}
+
+	// Convergence over the *current* members, including the joiners, must
+	// still happen within the epidemic spreading time (log n rounds, with
+	// headroom).
+	converged := false
+	for round := 0; round < 40; round++ {
+		if storesConverged(g, "k", 1) {
+			converged = true
+			break
+		}
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !converged {
+		t.Fatal("gossip did not converge over the post-churn membership within 40 rounds")
+	}
+	for _, r := range joined {
+		if _, ok := r.Store().Get("k"); !ok {
+			t.Fatalf("joined server %d never received the entry", r.ID())
+		}
+	}
+
+	// Departed servers must no longer be gossip targets: their engines are
+	// gone and calls to them fail, but rounds keep succeeding (failures are
+	// tolerated and counted, and after peer-set refresh nobody should even
+	// try them).
+	before := failedTotal(g)
+	for i := 0; i < 5; i++ {
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := failedTotal(g); after != before {
+		t.Fatalf("post-churn rounds still contact departed servers: failed exchanges %d -> %d", before, after)
+	}
+}
+
+// failedTotal sums failed peer exchanges across the group.
+func failedTotal(g *Group) uint64 {
+	var total uint64
+	for _, e := range g.engines {
+		total += e.Stats().Failed
+	}
+	return total
+}
+
+// TestGossipChurnWhileLeaving exercises the window between a server
+// becoming unreachable and its removal from peer sets: rounds must
+// tolerate the failures and convergence must complete after the peer-set
+// refresh.
+func TestGossipChurnWhileLeaving(t *testing.T) {
+	const n = 8
+	net := transport.NewMemNetwork(3)
+	reps := make([]*replica.Replica, n)
+	for i := range reps {
+		reps[i] = replica.New(quorum.ServerID(i))
+		net.Register(quorum.ServerID(i), reps[i])
+	}
+	g, err := NewGroup(reps, net, 1, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedEntry(reps[0], "k", 1)
+
+	ctx := context.Background()
+	// The server disappears from the network but stays in everyone's peer
+	// set: gossip rounds now hit ErrUnknownServer and must carry on.
+	net.Deregister(7)
+	for i := 0; i < 6; i++ {
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failedTotal(g) == 0 {
+		t.Fatal("expected failed exchanges while the departed server was still a peer")
+	}
+	// Now the membership catches up; convergence over the remaining 7 must
+	// complete.
+	if !g.Remove(7) {
+		t.Fatal("Remove(7) found no member")
+	}
+	for round := 0; round < 40 && !storesConverged(g, "k", 1); round++ {
+		if err := g.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !storesConverged(g, "k", 1) {
+		t.Fatal("gossip did not converge after the departed server was removed from peer sets")
+	}
+}

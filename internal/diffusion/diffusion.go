@@ -36,7 +36,8 @@ import (
 type Config struct {
 	// Self is the replica this engine gossips on behalf of.
 	Self quorum.ServerID
-	// Peers are the other servers' ids.
+	// Peers is the initial peer set. The live set is maintained by the
+	// engine (see SetPeers) and may diverge from this field under churn.
 	Peers []quorum.ServerID
 	// Transport delivers gossip RPCs.
 	Transport transport.Transport
@@ -71,8 +72,9 @@ type Stats struct {
 type Engine struct {
 	cfg Config
 
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	mu    sync.Mutex // guards rng and peers
+	rng   *rand.Rand
+	peers []quorum.ServerID // current peer set (mutable under churn)
 
 	rounds    atomic.Uint64
 	contacted atomic.Uint64
@@ -98,14 +100,28 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 100 * time.Millisecond
 	}
-	peers := make([]quorum.ServerID, 0, len(cfg.Peers))
-	for _, p := range cfg.Peers {
-		if p != cfg.Self {
-			peers = append(peers, p)
+	e := &Engine{cfg: cfg, rng: cfg.Rand}
+	e.SetPeers(cfg.Peers)
+	return e, nil
+}
+
+// Self returns the id this engine gossips on behalf of.
+func (e *Engine) Self() quorum.ServerID { return e.cfg.Self }
+
+// SetPeers replaces the engine's peer set (membership churn: servers
+// joining or leaving mid-diffusion). The engine's own id is filtered out.
+// Safe to call concurrently with Step; the new set takes effect from the
+// next peer selection.
+func (e *Engine) SetPeers(peers []quorum.ServerID) {
+	next := make([]quorum.ServerID, 0, len(peers))
+	for _, p := range peers {
+		if p != e.cfg.Self {
+			next = append(next, p)
 		}
 	}
-	cfg.Peers = peers
-	return &Engine{cfg: cfg, rng: cfg.Rand}, nil
+	e.mu.Lock()
+	e.peers = next
+	e.mu.Unlock()
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -127,11 +143,16 @@ func (e *Engine) Step(ctx context.Context) error {
 		return err
 	}
 	defer e.rounds.Add(1)
-	if len(e.cfg.Peers) == 0 {
+	peers := e.selectPeers()
+	if len(peers) == 0 {
 		return nil
 	}
+	// Tag outgoing calls with this engine's id so per-link fault hooks (see
+	// transport.LinkHook) observe true server-to-server links rather than
+	// attributing gossip to an anonymous client.
+	ctx = transport.WithSource(ctx, e.cfg.Self)
 	push := e.buildPush()
-	for _, peer := range e.selectPeers() {
+	for _, peer := range peers {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -179,16 +200,16 @@ func (e *Engine) buildPush() wire.GossipRequest {
 }
 
 func (e *Engine) selectPeers() []quorum.ServerID {
-	k := e.cfg.Fanout
-	if k > len(e.cfg.Peers) {
-		k = len(e.cfg.Peers)
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	idx := e.rng.Perm(len(e.cfg.Peers))[:k]
+	k := e.cfg.Fanout
+	if k > len(e.peers) {
+		k = len(e.peers)
+	}
+	idx := e.rng.Perm(len(e.peers))[:k]
 	out := make([]quorum.ServerID, k)
 	for i, j := range idx {
-		out[i] = e.cfg.Peers[j]
+		out[i] = e.peers[j]
 	}
 	return out
 }
@@ -206,39 +227,90 @@ func (e *Engine) merge(items []wire.Item) {
 }
 
 // Group runs one engine per replica and steps them together, which is how
-// the experiment harness models synchronized gossip rounds.
+// the experiment harness models synchronized gossip rounds. Add and Remove
+// change the membership mid-diffusion (churn): every remaining engine's
+// peer set is updated, so gossip keeps converging over the current members.
 type Group struct {
-	engines []*Engine
+	engines  []*Engine
+	tr       transport.Transport
+	fanout   int
+	verifier replica.Verifier
+	seed     int64
 }
 
 // NewGroup builds engines for every replica in reps over the given
 // transport. Seed derives per-engine randomness deterministically.
 func NewGroup(reps []*replica.Replica, tr transport.Transport, fanout int, verifier replica.Verifier, seed int64) (*Group, error) {
-	ids := make([]quorum.ServerID, len(reps))
-	for i, r := range reps {
-		ids[i] = r.ID()
-	}
-	g := &Group{}
-	for i, r := range reps {
-		eng, err := NewEngine(Config{
-			Self:      r.ID(),
-			Peers:     ids,
-			Transport: tr,
-			Store:     r.Store(),
-			Fanout:    fanout,
-			Verifier:  verifier,
-			Rand:      rand.New(rand.NewSource(seed + int64(i)*7919)),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("diffusion: engine %d: %w", i, err)
+	g := &Group{tr: tr, fanout: fanout, verifier: verifier, seed: seed}
+	for _, r := range reps {
+		if err := g.Add(r); err != nil {
+			return nil, err
 		}
-		g.engines = append(g.engines, eng)
 	}
 	return g, nil
 }
 
 // Engines exposes the group's engines.
 func (g *Group) Engines() []*Engine { return g.engines }
+
+// ids returns the current membership.
+func (g *Group) ids() []quorum.ServerID {
+	out := make([]quorum.ServerID, len(g.engines))
+	for i, e := range g.engines {
+		out[i] = e.Self()
+	}
+	return out
+}
+
+// refreshPeers pushes the current membership to every engine.
+func (g *Group) refreshPeers() {
+	ids := g.ids()
+	for _, e := range g.engines {
+		e.SetPeers(ids)
+	}
+}
+
+// Add joins a replica to the group mid-diffusion: a new engine is built for
+// it (randomness derived from the group seed and the replica id, so churn
+// stays deterministic) and every engine's peer set is refreshed. Rejoining
+// an id requires removing it first. Not safe for concurrent use with Step.
+func (g *Group) Add(r *replica.Replica) error {
+	for _, e := range g.engines {
+		if e.Self() == r.ID() {
+			return fmt.Errorf("diffusion: server %d is already a group member", r.ID())
+		}
+	}
+	eng, err := NewEngine(Config{
+		Self:      r.ID(),
+		Peers:     append(g.ids(), r.ID()),
+		Transport: g.tr,
+		Store:     r.Store(),
+		Fanout:    g.fanout,
+		Verifier:  g.verifier,
+		Rand:      rand.New(rand.NewSource(g.seed + int64(r.ID())*7919)),
+	})
+	if err != nil {
+		return fmt.Errorf("diffusion: engine %d: %w", r.ID(), err)
+	}
+	g.engines = append(g.engines, eng)
+	g.refreshPeers()
+	return nil
+}
+
+// Remove departs a server from the group mid-diffusion: its engine stops
+// being stepped and every remaining engine's peer set is refreshed. It
+// reports whether the id was a member. Not safe for concurrent use with
+// Step.
+func (g *Group) Remove(id quorum.ServerID) bool {
+	for i, e := range g.engines {
+		if e.Self() == id {
+			g.engines = append(g.engines[:i], g.engines[i+1:]...)
+			g.refreshPeers()
+			return true
+		}
+	}
+	return false
+}
 
 // Step runs one synchronized round across all engines.
 func (g *Group) Step(ctx context.Context) error {

@@ -44,8 +44,8 @@ func TestNewEngineValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(e.cfg.Peers) != 1 || e.cfg.Peers[0] != 1 {
-		t.Errorf("self not excluded: %v", e.cfg.Peers)
+	if len(e.peers) != 1 || e.peers[0] != 1 {
+		t.Errorf("self not excluded from live peer set: %v", e.peers)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -127,7 +128,7 @@ func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
 	switch cfg.Mode {
 	case register.Benign:
 	case register.Dissemination:
-		kp, err := sv.GenerateKey(seededReader(cfg.Seed + 2))
+		kp, err := sv.GenerateKey(SeededReader(cfg.Seed + 2))
 		if err != nil {
 			return ConsistencyResult{}, err
 		}
@@ -186,13 +187,18 @@ func installForgers(c *Cluster, b int, value []byte) {
 	}
 }
 
-// seededReader is a deterministic entropy source for reproducible keys.
-type seededReader int64
+// SeededReader returns a deterministic entropy source for reproducible
+// signing keys (shared by the sim and chaos harnesses). The stream
+// advances across Reads like a real entropy source.
+func SeededReader(seed int64) io.Reader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
 
-func (s seededReader) Read(p []byte) (int, error) {
-	r := rand.New(rand.NewSource(int64(s)))
+type seededReader struct{ rng *rand.Rand }
+
+func (s *seededReader) Read(p []byte) (int, error) {
 	for i := range p {
-		p[i] = byte(r.Intn(256))
+		p[i] = byte(s.rng.Intn(256))
 	}
 	return len(p), nil
 }

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"pqs/internal/quorum"
+)
+
+// recordingHook scripts one CallFault per call and records what it saw.
+type recordingHook struct {
+	fault CallFault
+	from  atomic.Int64
+	calls atomic.Int64
+}
+
+func (h *recordingHook) FilterCall(from, to quorum.ServerID, req any) CallFault {
+	h.calls.Add(1)
+	h.from.Store(int64(from))
+	return h.fault
+}
+
+// plainEcho replies with the request it received.
+func plainEcho() Handler {
+	return HandlerFunc(func(_ context.Context, req any) (any, error) { return req, nil })
+}
+
+func TestLinkHookDrop(t *testing.T) {
+	n := NewMemNetwork(1)
+	n.Register(1, plainEcho())
+	h := &recordingHook{fault: CallFault{Drop: true}}
+	n.SetLinkHook(h)
+	if _, err := n.Call(context.Background(), 1, "x"); !errors.Is(err, ErrDropped) {
+		t.Fatalf("err = %v, want ErrDropped", err)
+	}
+	n.SetLinkHook(nil)
+	if _, err := n.Call(context.Background(), 1, "x"); err != nil {
+		t.Fatalf("after removing hook: %v", err)
+	}
+	if h.calls.Load() != 1 {
+		t.Fatalf("hook consulted %d times, want 1", h.calls.Load())
+	}
+}
+
+func TestLinkHookDuplicateAndReplace(t *testing.T) {
+	n := NewMemNetwork(1)
+	var handled atomic.Int64
+	var last atomic.Value
+	n.Register(1, HandlerFunc(func(_ context.Context, req any) (any, error) {
+		handled.Add(1)
+		last.Store(req)
+		return req, nil
+	}))
+	n.SetLinkHook(&recordingHook{fault: CallFault{Duplicate: true, ReplaceReq: "corrupted"}})
+	resp, err := n.Call(context.Background(), 1, "original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "corrupted" {
+		t.Fatalf("resp = %v, want the replaced request echoed", resp)
+	}
+	if handled.Load() != 2 {
+		t.Fatalf("handler ran %d times, want 2 (duplicate delivery)", handled.Load())
+	}
+	if last.Load() != "corrupted" {
+		t.Fatalf("handler saw %v, want the replaced request", last.Load())
+	}
+}
+
+func TestLinkHookMutateReply(t *testing.T) {
+	n := NewMemNetwork(1)
+	n.Register(1, plainEcho())
+	n.SetLinkHook(&recordingHook{fault: CallFault{
+		MutateReply: func(resp any, err error) (any, error) { return "mutated", err },
+	}})
+	resp, err := n.Call(context.Background(), 1, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != "mutated" {
+		t.Fatalf("resp = %v, want mutated", resp)
+	}
+}
+
+func TestLinkHookSeesSource(t *testing.T) {
+	n := NewMemNetwork(1)
+	n.Register(1, plainEcho())
+	h := &recordingHook{}
+	n.SetLinkHook(h)
+	if _, err := n.Call(context.Background(), 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := quorum.ServerID(h.from.Load()); got != ClientSource {
+		t.Fatalf("untagged call attributed to %d, want ClientSource", got)
+	}
+	if _, err := n.Call(WithSource(context.Background(), 7), 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := quorum.ServerID(h.from.Load()); got != 7 {
+		t.Fatalf("tagged call attributed to %d, want 7", got)
+	}
+}
+
+func TestDeregisterThenRejoin(t *testing.T) {
+	n := NewMemNetwork(1)
+	n.Register(1, plainEcho())
+	if _, err := n.Call(context.Background(), 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	n.Deregister(1)
+	if _, err := n.Call(context.Background(), 1, "x"); !errors.Is(err, ErrUnknownServer) {
+		t.Fatalf("err after Deregister = %v, want ErrUnknownServer", err)
+	}
+	n.Register(1, plainEcho())
+	if _, err := n.Call(context.Background(), 1, "x"); err != nil {
+		t.Fatalf("err after rejoin = %v", err)
+	}
+}
+
+// TestDeregisterForgetsFaultState locks in Deregister's "as if never
+// registered" contract: a crashed (or partitioned) server that leaves and
+// rejoins must come back as a fresh, reachable member.
+func TestDeregisterForgetsFaultState(t *testing.T) {
+	n := NewMemNetwork(1)
+	n.Register(1, plainEcho())
+	n.Crash(1)
+	n.SetPartition(map[quorum.ServerID]int{1: 9})
+	n.Deregister(1)
+	n.Register(1, plainEcho())
+	if _, err := n.Call(context.Background(), 1, "x"); err != nil {
+		t.Fatalf("rejoined server unreachable: %v (stale crash/partition state survived Deregister)", err)
+	}
+	if n.CrashedCount() != 0 {
+		t.Fatalf("crashed count = %d after Deregister, want 0", n.CrashedCount())
+	}
+}
+
+// TestDeterministicDrop locks in the counter-hashed drop path: two networks
+// with the same seed and the same per-destination call sequence observe the
+// same drop pattern, and a different seed observes a different one.
+func TestDeterministicDrop(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		n := NewMemNetwork(seed)
+		n.Register(1, plainEcho())
+		n.SetDropProb(0.3)
+		out := make([]bool, 200)
+		for i := range out {
+			_, err := n.Call(context.Background(), 1, "x")
+			out[i] = errors.Is(err, ErrDropped)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed drop patterns diverge at call %d", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical drop patterns")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Fatalf("drop rate %d/200 implausible for p=0.3", drops)
+	}
+}

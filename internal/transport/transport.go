@@ -53,6 +53,58 @@ type Transport interface {
 	Call(ctx context.Context, to quorum.ServerID, req any) (any, error)
 }
 
+// ClientSource is the source id MemNetwork attributes to direct callers
+// (clients) that did not tag their context with WithSource. Server-to-server
+// traffic (e.g. diffusion) tags its calls so per-link fault hooks can tell
+// links apart.
+const ClientSource quorum.ServerID = -1
+
+// sourceKey is the context key carrying a call's source id.
+type sourceKey struct{}
+
+// WithSource returns a context whose MemNetwork calls are attributed to the
+// given source server (used by server-initiated traffic such as gossip, so
+// fault hooks see true per-link identities).
+func WithSource(ctx context.Context, from quorum.ServerID) context.Context {
+	return context.WithValue(ctx, sourceKey{}, from)
+}
+
+// SourceFromContext returns the source id attached by WithSource, or
+// ClientSource when the context carries none.
+func SourceFromContext(ctx context.Context) quorum.ServerID {
+	if v, ok := ctx.Value(sourceKey{}).(quorum.ServerID); ok {
+		return v
+	}
+	return ClientSource
+}
+
+// CallFault is a LinkHook's verdict on one call. The zero value delivers the
+// call untouched. Effects compose in field order: a dropped call never
+// reaches the server; a duplicated call is delivered twice (the second
+// reply is discarded, exercising idempotency); Delay postpones delivery —
+// with concurrent calls in flight on a link this lets later calls overtake
+// earlier ones (reordering), while a sequential caller observes only the
+// added latency and shuffled reply arrival across its access set;
+// ReplaceReq substitutes the delivered request (frame corruption);
+// MutateReply rewrites the reply (or error) on the way back.
+type CallFault struct {
+	Drop        bool
+	Duplicate   bool
+	Delay       time.Duration
+	ReplaceReq  any
+	MutateReply func(resp any, err error) (any, error)
+}
+
+// LinkHook intercepts every MemNetwork call on its way to a server. It is
+// consulted after partition and crash checks and before the built-in drop
+// and latency simulation, once per call, with the caller's source id (a
+// server id for WithSource-tagged traffic, ClientSource otherwise).
+// Implementations must be safe for concurrent use; determinism is the
+// hook's responsibility (see internal/chaos for a seed-deterministic one).
+type LinkHook interface {
+	FilterCall(from, to quorum.ServerID, req any) CallFault
+}
+
 // MemNetwork is a simulated network hosting any number of in-process
 // servers. The zero value is not usable; construct with NewMemNetwork.
 // All configuration methods are safe for concurrent use with Call.
@@ -67,13 +119,28 @@ type MemNetwork struct {
 	perServer map[quorum.ServerID]latRange // overrides minLat/maxLat per server
 	callGroup int                          // partition group of direct Call users (clients)
 
-	// Fault randomness. A single seeded *rand.Rand behind a mutex was the
+	// hook, when non-nil, intercepts every call (fault injection; see
+	// LinkHook).
+	hook LinkHook
+
+	// dropSeq holds one counter per destination. The built-in drop decision
+	// hashes (seed, destination, per-destination call count), so a run whose
+	// per-destination call sequence is deterministic — sequential client
+	// operations, as in the sim and chaos harnesses — replays its drop
+	// pattern exactly from the seed, even though the calls themselves are
+	// dispatched concurrently. (Which servers an operation calls never
+	// depends on reply arrival order, only on the client's own seeded
+	// sampling, so the per-destination counts are scheduling-independent.)
+	dropSeq map[quorum.ServerID]*atomic.Uint64
+
+	// Latency randomness. A single seeded *rand.Rand behind a mutex was the
 	// throughput bottleneck of concurrent Call benchmarks (every call takes
 	// the lock even when only drawing latency), so the network hands out
 	// per-goroutine PRNGs from a pool instead. Each pool entry is seeded
 	// from the network seed and a distinct sequence number, so runs stay
 	// reproducible for sequential callers and statistically faithful for
-	// concurrent ones.
+	// concurrent ones. Latency only shifts timing, never recorded results,
+	// which is why it may stay pooled while drops are counter-hashed.
 	seed    uint64
 	rngSeq  atomic.Uint64
 	rngPool sync.Pool
@@ -91,6 +158,7 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		handlers: make(map[quorum.ServerID]Handler),
 		crashed:  make(map[quorum.ServerID]bool),
 		groups:   make(map[quorum.ServerID]int),
+		dropSeq:  make(map[quorum.ServerID]*atomic.Uint64),
 		seed:     uint64(seed),
 	}
 }
@@ -116,11 +184,39 @@ func splitmix64(x uint64) uint64 {
 }
 
 // Register attaches a server handler under the given id, replacing any
-// previous registration.
+// previous registration. Re-registering a departed id (see Deregister)
+// models a server rejoining the membership.
 func (n *MemNetwork) Register(id quorum.ServerID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[id] = h
+	if n.dropSeq[id] == nil {
+		n.dropSeq[id] = new(atomic.Uint64)
+	}
+}
+
+// Deregister removes a server from the membership: subsequent calls to it
+// fail with ErrUnknownServer, exactly as if the id had never been
+// registered — its crash flag, partition group and latency override are
+// forgotten too, so a later Register rejoins a genuinely fresh member.
+// Together with Register it models mid-run membership churn (leave/join).
+// The drop-decision counter for the id is retained so a rejoin does not
+// replay the departed server's fault pattern.
+func (n *MemNetwork) Deregister(id quorum.ServerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+	delete(n.crashed, id)
+	delete(n.groups, id)
+	delete(n.perServer, id)
+}
+
+// SetLinkHook installs (or, with nil, removes) the fault-injection hook
+// consulted on every call. See LinkHook.
+func (n *MemNetwork) SetLinkHook(h LinkHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hook = h
 }
 
 // Crash marks a server as crashed: calls to it fail with ErrCrashed.
@@ -211,15 +307,18 @@ func (n *MemNetwork) SetCallerGroup(g int) {
 }
 
 // Call implements Transport. The call observes, in order: partition state,
-// crash state, simulated loss, simulated latency, then the server handler.
-// Simulated loss surfaces promptly as ErrDropped rather than stalling until
-// the context deadline, which keeps large experiments fast; production
-// callers treat ErrDropped like a timeout.
+// crash state, the installed LinkHook (if any), simulated loss, simulated
+// latency, then the server handler. Simulated loss surfaces promptly as
+// ErrDropped rather than stalling until the context deadline, which keeps
+// large experiments fast; production callers treat ErrDropped like a
+// timeout.
 func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
 	n.mu.RLock()
 	h, ok := n.handlers[to]
 	crashed := n.crashed[to]
 	drop := n.dropProb
+	dropCnt := n.dropSeq[to]
+	hook := n.hook
 	minLat, maxLat := n.minLat, n.maxLat
 	if lr, ok := n.perServer[to]; ok {
 		minLat, maxLat = lr.min, lr.max
@@ -236,17 +335,31 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	if crashed {
 		return nil, fmt.Errorf("server %d: %w", to, ErrCrashed)
 	}
-	if drop > 0 || maxLat > minLat {
-		rng := n.getRNG()
-		dropped := drop > 0 && rng.Float64() < drop
-		d := minLat
-		if maxLat > minLat {
-			d += time.Duration(rng.Int63n(int64(maxLat - minLat + 1)))
-		}
-		n.putRNG(rng)
-		if dropped {
+	var fault CallFault
+	if hook != nil {
+		fault = hook.FilterCall(SourceFromContext(ctx), to, req)
+		if fault.Drop {
 			return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
 		}
+		if fault.ReplaceReq != nil {
+			req = fault.ReplaceReq
+		}
+	}
+	if drop > 0 {
+		// Counter-hashed rather than drawn from the pooled PRNGs: the
+		// decision depends only on (seed, destination, per-destination call
+		// count), so harnesses that keep the call sequence deterministic
+		// replay drop patterns byte-for-byte (see dropSeq).
+		seq := dropCnt.Add(1)
+		u := splitmix64(n.seed ^ (uint64(to)+1)<<32 ^ seq)
+		if float64(u>>11)/(1<<53) < drop {
+			return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
+		}
+	}
+	if maxLat > minLat {
+		rng := n.getRNG()
+		d := minLat + time.Duration(rng.Int63n(int64(maxLat-minLat+1)))
+		n.putRNG(rng)
 		if d > 0 {
 			if err := sleep(ctx, d); err != nil {
 				return nil, err
@@ -257,10 +370,24 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 			return nil, err
 		}
 	}
+	if fault.Delay > 0 {
+		if err := sleep(ctx, fault.Delay); err != nil {
+			return nil, err
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return h.Handle(ctx, req)
+	resp, err := h.Handle(ctx, req)
+	if fault.Duplicate {
+		// Deliver the request a second time, discarding the second reply:
+		// the visible effect is what idempotency (or its absence) makes it.
+		h.Handle(ctx, req) //nolint:errcheck // duplicate delivery, reply discarded
+	}
+	if fault.MutateReply != nil {
+		resp, err = fault.MutateReply(resp, err)
+	}
+	return resp, err
 }
 
 // timerPool recycles latency timers across simulated calls: allocating a
