@@ -7,7 +7,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke chaos-short fuzz-smoke
+.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke chaos-short fuzz-smoke sim-fast
 
 all: ci
 
@@ -58,10 +58,21 @@ bench-smoke:
 # trial counts (seconds, deterministic in CHAOS_SEED), plus the negative
 # scenario demonstrating the checker fails when ε exceeds the bound. A
 # failing seed replays locally with the same command or with
-# `go test ./internal/chaos -run TestChaos -chaos.seed=N`.
+# `go test ./internal/chaos -run TestChaos -chaos.seed=N`. -json records
+# the per-scenario ε trend to BENCH_epsilon.json (uploaded as a CI
+# artifact, like BENCH_throughput.json for throughput).
 CHAOS_SEED ?= 1
 chaos-short:
-	$(GO) run ./cmd/pqs-chaos -scale 1 -seed $(CHAOS_SEED) -negative
+	$(GO) run ./cmd/pqs-chaos -scale 1 -seed $(CHAOS_SEED) -negative -json -o /dev/null
+
+# The virtual-time gate: the long-form ε measurement (400 trials over a
+# 100-server cluster with 20-60ms injected latency, stragglers and
+# adaptive hedging — minutes of simulated time that used to be far too
+# slow for CI) runs under vtime.SimClock and must finish >= 50x faster
+# than the simulated duration, proving the speedup is real and gating
+# regressions that reintroduce wall-clock waits into the simulated path.
+sim-fast:
+	$(GO) test -run 'TestSimFastLongFormEpsilon|TestAdaptiveHedgeEpsilonPreserved' -v ./internal/sim
 
 # Ten seconds of coverage-guided fuzzing on the binary codec's decode
 # surface, so the FuzzDecodeMessage target actually executes in CI rather

@@ -10,6 +10,10 @@
 //	pqs-chaos -scale 5 -seed 7     # longer runs from another seed
 //	pqs-chaos -scenario 'masking/' # subset by substring
 //	pqs-chaos -list                # print scenario names and docs
+//	pqs-chaos -json                # also write per-scenario ε metrics to
+//	                               # BENCH_epsilon.json (the CI artifact
+//	                               # tracking the ε trend across PRs, like
+//	                               # BENCH_throughput.json for throughput)
 //	pqs-chaos -negative            # also run the intentionally failing
 //	                               # negative scenario (its failure is
 //	                               # expected and does not affect the exit
@@ -25,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"pqs/internal/chaos"
 )
@@ -36,6 +42,74 @@ type scenarioReport struct {
 	// Expected distinguishes the negative demo (expected to fail) from
 	// shipped scenarios (expected to pass).
 	Expected string `json:"expected"`
+	// WallSeconds is how long the scenario took to execute. For virtual
+	// scenarios the interesting ratio is Report.SimSeconds/WallSeconds.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// epsilonDoc is the BENCH_epsilon.json layout, mirroring
+// BENCH_throughput.json: a context block plus named entries with a flat
+// metrics map, so the same tooling can diff either file across PRs.
+type epsilonDoc struct {
+	Context   map[string]any `json:"context"`
+	Scenarios []epsilonEntry `json:"scenarios"`
+}
+
+type epsilonEntry struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// epsilonFile is where -json writes the ε trend document.
+const epsilonFile = "BENCH_epsilon.json"
+
+// buildEpsilonDoc flattens the matrix into the trend document.
+func buildEpsilonDoc(rep matrixReport) epsilonDoc {
+	doc := epsilonDoc{Context: map[string]any{
+		"goos":   runtime.GOOS,
+		"goarch": runtime.GOARCH,
+		"pkg":    "pqs",
+		"seed":   rep.Seed,
+		"scale":  rep.Scale,
+	}}
+	for _, sc := range rep.Scenarios {
+		if sc.Expected == "fail" {
+			// The negative demo exists to prove the checker has teeth; a
+			// permanently "failing" row would poison the trend document
+			// (every cross-PR diff would flag it as a regression).
+			continue
+		}
+		c := sc.Check
+		m := map[string]float64{
+			"epsilon":          c.Epsilon,
+			"eligible_epsilon": c.EligibleEpsilon,
+			"eligible_reads":   float64(c.EligibleReads),
+			"eligible_bad":     float64(c.EligibleBad),
+			"bound":            c.Bound,
+			"p_value":          c.PValue,
+			"pass":             boolMetric(c.Pass),
+			"wall_seconds":     sc.WallSeconds,
+		}
+		if sc.Virtual {
+			m["sim_seconds"] = sc.SimSeconds
+			if sc.WallSeconds > 0 {
+				m["speedup"] = sc.SimSeconds / sc.WallSeconds
+			}
+		}
+		if sc.GossipRounds > 0 {
+			m["gossip_rounds"] = float64(sc.GossipRounds)
+			m["gossip_merged"] = float64(sc.GossipMerged)
+		}
+		doc.Scenarios = append(doc.Scenarios, epsilonEntry{Name: sc.Name, Metrics: m})
+	}
+	return doc
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // matrixReport is the top-level JSON document.
@@ -54,6 +128,7 @@ func main() {
 		list     = flag.Bool("list", false, "list scenario names and exit")
 		negative = flag.Bool("negative", false, "also run the intentionally failing negative scenario")
 		out      = flag.String("o", "", "write the JSON report to this file instead of stdout")
+		epsJSON  = flag.Bool("json", false, "also write per-scenario ε metrics to "+epsilonFile)
 	)
 	flag.Parse()
 
@@ -75,19 +150,25 @@ func main() {
 		if err != nil {
 			fatalf("build %s: %v", sc.Name, err)
 		}
+		start := time.Now()
 		rep, err := chaos.Run(cfg)
+		wall := time.Since(start).Seconds()
 		if err != nil {
 			fatalf("run %s: %v", sc.Name, err)
 		}
-		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "pass"})
+		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "pass", WallSeconds: wall})
 		status := "PASS"
 		if !rep.Check.Pass {
 			status = "FAIL"
 			report.AllPass = false
 		}
-		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g\n",
+		virtual := ""
+		if rep.Virtual {
+			virtual = fmt.Sprintf("  [virtual: %.1fs simulated in %.2fs]", rep.SimSeconds, wall)
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g%s\n",
 			sc.Name, status, rep.Check.EligibleEpsilon, rep.Check.EligibleBad,
-			rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue)
+			rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue, virtual)
 	}
 	if ran == 0 {
 		fatalf("no scenario matches %q", *match)
@@ -98,11 +179,13 @@ func main() {
 		if err != nil {
 			fatalf("build negative: %v", err)
 		}
+		start := time.Now()
 		rep, err := chaos.Run(cfg)
+		wall := time.Since(start).Seconds()
 		if err != nil {
 			fatalf("run negative: %v", err)
 		}
-		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "fail"})
+		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "fail", WallSeconds: wall})
 		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f vs configured bound %.3g (failure expected)\n",
 			rep.Name, map[bool]string{true: "PASS(?)", false: "FAIL(expected)"}[rep.Check.Pass],
 			rep.Check.EligibleEpsilon, rep.Check.Bound)
@@ -124,6 +207,18 @@ func main() {
 		}
 	} else {
 		os.Stdout.Write(enc)
+	}
+	if *epsJSON {
+		doc := buildEpsilonDoc(report)
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatalf("marshal %s: %v", epsilonFile, err)
+		}
+		enc = append(enc, '\n')
+		if err := os.WriteFile(epsilonFile, enc, 0o644); err != nil {
+			fatalf("write %s: %v", epsilonFile, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", epsilonFile, len(doc.Scenarios))
 	}
 	if !report.AllPass {
 		os.Exit(1)

@@ -15,6 +15,7 @@ import (
 	"pqs/internal/replica"
 	"pqs/internal/sim"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -53,11 +54,14 @@ func (e *Equivocator) OnWrite(wire.WriteRequest) (bool, error) { return false, n
 // delayed i*Step, capped at Max. It models a server that degrades under
 // load instead of failing, the adversary that latency hedging (PR 1) is
 // designed to absorb; in the chaos harness it demonstrates that slowness
-// alone can never affect safety, only latency.
+// alone can never affect safety, only latency. A nil Clock sleeps on the
+// wall clock; virtual runs inject the run's SimClock (SlowDown does this
+// automatically), making the degradation instant to simulate.
 type SlowLorris struct {
-	Step time.Duration
-	Max  time.Duration
-	n    atomic.Uint64
+	Step  time.Duration
+	Max   time.Duration
+	Clock vtime.Clock
+	n     atomic.Uint64
 }
 
 func (s *SlowLorris) delay() {
@@ -65,7 +69,7 @@ func (s *SlowLorris) delay() {
 	if s.Max > 0 && d > s.Max {
 		d = s.Max
 	}
-	time.Sleep(d)
+	vtime.Or(s.Clock).Sleep(d)
 }
 
 // OnRead implements replica.Behavior.

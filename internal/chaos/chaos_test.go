@@ -154,6 +154,40 @@ func TestNegativeScenarioFails(t *testing.T) {
 	}
 }
 
+// TestGossipUnderFireExercisesTheMachinery asserts the gossip-under-fire
+// scenario genuinely runs what it advertises: a virtual-time run that
+// consumed simulated seconds, hedged around stragglers, stepped diffusion
+// rounds and merged entries across stores — not a configuration that
+// silently degraded to the plain harness.
+func TestGossipUnderFireExercisesTheMachinery(t *testing.T) {
+	sc, ok := Find("masking/gossip-under-fire")
+	if !ok {
+		t.Fatal("masking/gossip-under-fire missing from the library")
+	}
+	cfg, err := sc.Build(1, *chaosSeed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !rep.Virtual || rep.SimSeconds <= 0 {
+		t.Errorf("run did not record virtual time: virtual=%v sim_seconds=%v", rep.Virtual, rep.SimSeconds)
+	}
+	if rep.GossipRounds == 0 {
+		t.Error("no diffusion rounds ran")
+	}
+	if rep.GossipMerged == 0 {
+		t.Error("diffusion never merged an entry; gossip was a no-op")
+	}
+	if !rep.Check.Pass {
+		t.Errorf("scenario failed its bound: %+v", rep.Check)
+	}
+	t.Logf("simulated %.3fs, %d gossip rounds, %d entries merged",
+		rep.SimSeconds, rep.GossipRounds, rep.GossipMerged)
+}
+
 // TestCheckClassification exercises the checker on a hand-written history.
 func TestCheckClassification(t *testing.T) {
 	st := func(c uint64) ts.Stamp { return ts.Stamp{Counter: c, Writer: 1} }
@@ -164,9 +198,9 @@ func TestCheckClassification(t *testing.T) {
 		{Seq: 3, Time: 1, Kind: OpRead, Key: "a", Value: "v0", Stamp: st(1), Found: true}, // stale depth 1
 		{Seq: 4, Time: 2, Kind: OpWrite, Key: "a", Value: "v2", Stamp: st(3), Full: true},
 		{Seq: 5, Time: 2, Kind: OpRead, Key: "a", Value: "forged", Stamp: st(99), Found: true}, // fooled
-		{Seq: 6, Time: 3, Kind: OpRead, Key: "a", Found: false},                               // stale depth 3 (⊥ after 3 writes)
-		{Seq: 7, Time: 4, Kind: OpRead, Key: "a", Err: "no replies"},                          // unavailable
-		{Seq: 8, Time: 5, Kind: OpRead, Key: "b", Found: false},                               // correct (no writes to b)
+		{Seq: 6, Time: 3, Kind: OpRead, Key: "a", Found: false},                                // stale depth 3 (⊥ after 3 writes)
+		{Seq: 7, Time: 4, Kind: OpRead, Key: "a", Err: "no replies"},                           // unavailable
+		{Seq: 8, Time: 5, Kind: OpRead, Key: "b", Found: false},                                // correct (no writes to b)
 	}
 	res := Check(h, CheckConfig{Mode: register.Benign, Bound: 0.01})
 	if res.Correct != 2 || res.Stale != 2 || res.Fooled != 1 || res.Unavailable != 1 {

@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
+	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
 	"pqs/internal/register"
 	"pqs/internal/replica"
 	"pqs/internal/sim"
 	"pqs/internal/sv"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 )
 
 // Config drives one chaos run.
@@ -40,6 +43,32 @@ type Config struct {
 	// the checker confidence (see CheckConfig).
 	Bound float64
 	Alpha float64
+
+	// Virtual runs the whole scenario under a vtime.SimClock: simulated
+	// latency, hedge timers and slow-lorris delays execute in virtual time
+	// — instantly, and deterministically enough to join the byte-for-byte
+	// replay contract that previously had to exclude hedged runs.
+	Virtual bool
+	// LatencyMin and LatencyMax, when LatencyMax > 0, give every call a
+	// uniform simulated latency drawn deterministically from the seed.
+	// Meaningful mainly with Virtual (wall runs would really sleep).
+	LatencyMin, LatencyMax time.Duration
+	// Spares, HedgeDelay, AdaptiveHedge and EagerRead enable the client's
+	// straggler-tolerant access path for the run (register.Options),
+	// putting hedge timers inside the chaos determinism contract.
+	Spares        int
+	HedgeDelay    time.Duration
+	AdaptiveHedge bool
+	EagerRead     bool
+
+	// GossipEvery, when positive, runs one synchronized diffusion round
+	// (anti-entropy push-pull over the current membership) after every
+	// GossipEvery-th write/read pair — lazy propagation running
+	// concurrently with client traffic at operation granularity, which
+	// keeps the interleaving deterministic. GossipFanout is the peers
+	// contacted per engine per round (default 1).
+	GossipEvery  int
+	GossipFanout int
 }
 
 // Report is the outcome of a chaos run.
@@ -51,6 +80,16 @@ type Report struct {
 	Ops      int         `json:"ops"`
 	Schedule string      `json:"schedule,omitempty"`
 	Check    CheckResult `json:"check"`
+	// Virtual and SimSeconds report virtual-time runs: the simulated
+	// duration the scenario covered (wall time spent is the caller's to
+	// measure — the run itself never reads the wall clock).
+	Virtual    bool    `json:"virtual,omitempty"`
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// GossipRounds and GossipMerged summarize the diffusion group when
+	// Config.GossipEvery is set: synchronized rounds run and entries
+	// adopted from peers across all engines.
+	GossipRounds uint64 `json:"gossip_rounds,omitempty"`
+	GossipMerged uint64 `json:"gossip_merged,omitempty"`
 	// History is the full operation record (omitted from JSON reports;
 	// replay the seed to regenerate it).
 	History History `json:"-"`
@@ -60,8 +99,27 @@ type Report struct {
 // engine, plays the schedule while driving write-then-read pairs, records
 // every operation, and checks the resulting history. The returned report's
 // Check field carries the verdict; Run itself errors only on setup or
-// harness failures, never on consistency violations.
+// harness failures, never on consistency violations. With cfg.Virtual the
+// whole scenario executes inside a vtime.SimClock scheduler.
 func Run(cfg Config) (*Report, error) {
+	if !cfg.Virtual {
+		return run(cfg, nil)
+	}
+	sc := vtime.NewSimClock()
+	var rep *Report
+	var err error
+	sc.Run(func() {
+		rep, err = run(cfg, sc)
+	})
+	if rep != nil {
+		rep.Virtual = true
+		rep.SimSeconds = sc.Elapsed().Seconds()
+	}
+	return rep, err
+}
+
+// run is the scenario body, on clk (nil = wall).
+func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	if cfg.System == nil {
 		return nil, errors.New("chaos: Config.System is required")
 	}
@@ -76,17 +134,31 @@ func Run(cfg Config) (*Report, error) {
 		keys = cfg.Ops
 	}
 
-	cluster := sim.NewCluster(cfg.System.N(), cfg.Seed)
+	var netClk vtime.Clock // avoid a typed-nil *SimClock inside the interface
+	if clk != nil {
+		netClk = clk
+	}
+	cluster := sim.NewClusterClock(cfg.System.N(), cfg.Seed, netClk)
 	eng := NewEngine(cfg.Seed + 0x9E3779B9)
 	cluster.Net.SetLinkHook(eng)
+	if cfg.LatencyMax > 0 {
+		cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+	}
 
 	opts := register.Options{
-		System:    cfg.System,
-		Mode:      cfg.Mode,
-		K:         cfg.K,
-		Transport: cluster.Net,
-		Rand:      rand.New(rand.NewSource(cfg.Seed + 1)),
-		Clock:     ts.NewClock(1),
+		System:        cfg.System,
+		Mode:          cfg.Mode,
+		K:             cfg.K,
+		Transport:     cluster.Net,
+		Rand:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:         ts.NewClock(1),
+		Spares:        cfg.Spares,
+		HedgeDelay:    cfg.HedgeDelay,
+		AdaptiveHedge: cfg.AdaptiveHedge,
+		EagerRead:     cfg.EagerRead,
+	}
+	if clk != nil {
+		opts.Time = clk
 	}
 	if cfg.Mode == register.Dissemination {
 		kp, err := sv.GenerateKey(sim.SeededReader(cfg.Seed + 2))
@@ -103,9 +175,25 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("chaos: client: %w", err)
 	}
 
-	rt := &runtime{cluster: cluster, eng: eng, byID: make(map[quorum.ServerID]*replica.Replica)}
+	rt := &runtime{
+		cluster: cluster,
+		eng:     eng,
+		byID:    make(map[quorum.ServerID]*replica.Replica),
+		clock:   vtime.Or(netClk),
+	}
 	for _, r := range cluster.Replicas {
 		rt.byID[r.ID()] = r
+	}
+	if cfg.GossipEvery > 0 {
+		fanout := cfg.GossipFanout
+		if fanout <= 0 {
+			fanout = 1
+		}
+		group, err := diffusion.NewGroup(cluster.Replicas, cluster.Net, fanout, nil, cfg.Seed+2)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: diffusion group: %w", err)
+		}
+		rt.gossip = group
 	}
 	events := make([]Event, len(cfg.Schedule))
 	copy(events, cfg.Schedule)
@@ -113,6 +201,7 @@ func Run(cfg Config) (*Report, error) {
 
 	ctx := context.Background()
 	hist := make(History, 0, 2*cfg.Ops)
+	var gossipRounds uint64
 	seq := 0
 	next := 0
 	for t := 0; t < cfg.Ops; t++ {
@@ -121,6 +210,16 @@ func Run(cfg Config) (*Report, error) {
 				act.apply(rt)
 			}
 			next++
+		}
+		if rt.gossip != nil && t > 0 && t%cfg.GossipEvery == 0 {
+			// Diffusion interleaves with client traffic at pair
+			// boundaries: deterministic, and adversarial enough — the
+			// round runs under whatever partition/fault state the
+			// schedule has currently installed.
+			if err := rt.gossip.Step(ctx); err != nil {
+				return nil, fmt.Errorf("chaos: gossip round at t=%d: %w", t, err)
+			}
+			gossipRounds++
 		}
 		key := fmt.Sprintf("k%d", t%keys)
 		value := fmt.Sprintf("v%d", t)
@@ -161,6 +260,12 @@ func Run(cfg Config) (*Report, error) {
 		Schedule: cfg.Schedule.String(),
 		History:  hist,
 		Check:    Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha}),
+	}
+	if rt.gossip != nil {
+		rep.GossipRounds = gossipRounds
+		for _, e := range rt.gossip.Engines() {
+			rep.GossipMerged += e.Stats().Merged
+		}
 	}
 	return rep, nil
 }

@@ -223,6 +223,37 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name: "masking/gossip-under-fire",
+			Doc:  "diffusion rounds interleave with hedged client traffic while an asymmetric partition flaps and 2% loss arrives; runs virtual (SimClock) with adaptive hedging, checked against the Theorem 5.2 masking bound",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewMasking(baseN, 35, 5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				group := ids(70, 8)
+				return Config{
+					Name: "masking/gossip-under-fire", System: sys, Mode: register.Masking, K: sys.K(),
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					// The whole scenario runs in virtual time: per-call
+					// latency, hedge timers and the diffusion cadence are
+					// deterministic and instant to execute — the hedged
+					// configuration PR 3 could not cover.
+					Virtual:    true,
+					LatencyMin: 200 * time.Microsecond, LatencyMax: 800 * time.Microsecond,
+					Spares: 2, HedgeDelay: 2 * time.Millisecond,
+					AdaptiveHedge: true, EagerRead: true,
+					GossipEvery: 3, GossipFanout: 2,
+					Schedule: Schedule{
+						At(ops/5, BlockInbound(group...)),
+						At(2*ops/5, Heal()),
+						At(3*ops/5, Drop(0.02), BlockInbound(group...)),
+						At(4*ops/5, Heal()),
+					},
+				}, nil
+			},
+		},
+		{
 			Name: "masking/stale-echo",
 			Doc:  "b=5 stale echoes acknowledge writes they never apply; timestamp order must defeat the old-value attack",
 			Build: func(scale int, seed int64) (Config, error) {

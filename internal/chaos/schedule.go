@@ -10,9 +10,11 @@ import (
 	"strings"
 	"time"
 
+	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
 	"pqs/internal/replica"
 	"pqs/internal/sim"
+	"pqs/internal/vtime"
 )
 
 // Action is one step of a fault schedule.
@@ -57,6 +59,13 @@ type runtime struct {
 	cluster *sim.Cluster
 	eng     *Engine
 	byID    map[quorum.ServerID]*replica.Replica
+	// clock is the run's time source (the SimClock under Config.Virtual);
+	// behaviors with delays are built against it.
+	clock vtime.Clock
+	// gossip is the diffusion group stepped between operation pairs when
+	// Config.GossipEvery is set; Leave and Join keep its membership
+	// current.
+	gossip *diffusion.Group
 }
 
 // actionFunc adapts a closure to Action.
@@ -87,11 +96,15 @@ func Recover(ids ...quorum.ServerID) Action {
 }
 
 // Leave departs servers from the membership: subsequent calls to them fail
-// with ErrUnknownServer, as if the address were gone.
+// with ErrUnknownServer, as if the address were gone. A diffusion group,
+// when the run has one, stops gossiping with them too.
 func Leave(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("leave%v", ids), func(rt *runtime) {
 		for _, id := range ids {
 			rt.cluster.Net.Deregister(id)
+			if rt.gossip != nil {
+				rt.gossip.Remove(id)
+			}
 		}
 	}}
 }
@@ -113,6 +126,12 @@ func Join(ids ...quorum.ServerID) Action {
 			}
 			rt.byID[id] = r
 			rt.cluster.Net.Register(id, r)
+			if rt.gossip != nil {
+				rt.gossip.Remove(id) // tolerate a Join without a prior Leave
+				if err := rt.gossip.Add(r); err != nil {
+					panic(fmt.Sprintf("chaos: rejoin gossip %d: %v", id, err))
+				}
+			}
 		}
 	}}
 }
@@ -194,9 +213,14 @@ func StaleEchoes(ids ...quorum.ServerID) Action {
 }
 
 // SlowDown turns the listed replicas into slow lorrises (per-replica
-// escalating delay, capped at max).
+// escalating delay, capped at max, slept on the run's clock — virtual
+// under Config.Virtual).
 func SlowDown(step, max time.Duration, ids ...quorum.ServerID) Action {
-	return BehaveEach(func(quorum.ServerID) replica.Behavior { return &SlowLorris{Step: step, Max: max} }, ids...)
+	return actionFunc{fmt.Sprintf("behave-each%v", ids), func(rt *runtime) {
+		InstallEach(rt.cluster, func(quorum.ServerID) replica.Behavior {
+			return &SlowLorris{Step: step, Max: max, Clock: rt.clock}
+		}, ids...)
+	}}
 }
 
 // Restore resets the listed replicas to correct behavior.

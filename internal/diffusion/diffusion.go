@@ -29,6 +29,7 @@ import (
 	"pqs/internal/quorum"
 	"pqs/internal/replica"
 	"pqs/internal/transport"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	Rand *rand.Rand
 	// Interval is the gossip period for Run (default 100ms).
 	Interval time.Duration
+	// Clock supplies the round pacing for Run. Nil means the wall clock;
+	// under a vtime.SimClock the rounds tick in virtual time, so a
+	// long-horizon diffusion run completes instantly and deterministically.
+	Clock vtime.Clock
 }
 
 // Stats are cumulative engine counters, safe to read concurrently.
@@ -100,6 +105,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 100 * time.Millisecond
 	}
+	cfg.Clock = vtime.Or(cfg.Clock)
 	e := &Engine{cfg: cfg, rng: cfg.Rand}
 	e.SetPeers(cfg.Peers)
 	return e, nil
@@ -172,18 +178,18 @@ func (e *Engine) Step(ctx context.Context) error {
 	return nil
 }
 
-// Run gossips every Interval until ctx is cancelled.
+// Run gossips every Interval until ctx is cancelled. The pacing comes from
+// Config.Clock: a fixed sleep between rounds rather than a ticker, so a
+// round that overruns the interval delays the next round instead of
+// bursting to catch up (the usual anti-entropy choice — rounds are cheap
+// and missing a beat is harmless).
 func (e *Engine) Run(ctx context.Context) {
-	t := time.NewTicker(e.cfg.Interval)
-	defer t.Stop()
 	for {
-		select {
-		case <-ctx.Done():
+		if err := e.cfg.Clock.SleepCtx(ctx, e.cfg.Interval); err != nil {
 			return
-		case <-t.C:
-			if err := e.Step(ctx); err != nil {
-				return
-			}
+		}
+		if err := e.Step(ctx); err != nil {
+			return
 		}
 	}
 }

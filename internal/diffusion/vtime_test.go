@@ -1,0 +1,86 @@
+package diffusion
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/ts"
+	"pqs/internal/vtime"
+)
+
+// TestEngineRunVirtual drives the free-running gossip loop (Engine.Run,
+// previously a wall-clock ticker) under a SimClock: every replica runs its
+// own engine concurrently, rounds tick at the virtual interval, an update
+// planted on one replica reaches every store within the epidemic spreading
+// time, and simulated seconds cost wall milliseconds. Run twice to lock in
+// determinism of the free-running (not group-stepped) mode.
+func TestEngineRunVirtual(t *testing.T) {
+	const (
+		n        = 12
+		interval = 50 * time.Millisecond
+		horizon  = 2 * time.Second // 40 rounds, far past O(log n) spreading
+	)
+	run := func() (converged int, elapsed time.Duration) {
+		clk := vtime.NewSimClock()
+		start := time.Now()
+		clk.Run(func() {
+			net, reps := buildCluster(t, n)
+			net.SetClock(clk)
+			net.SetLatency(time.Millisecond, 2*time.Millisecond)
+			ctx, cancel := context.WithCancel(context.Background())
+			for i, r := range reps {
+				e, err := NewEngine(Config{
+					Self:      r.ID(),
+					Peers:     ids(n),
+					Transport: net,
+					Store:     r.Store(),
+					Fanout:    1,
+					Rand:      rand.New(rand.NewSource(int64(100 + i))),
+					Interval:  interval,
+					Clock:     clk,
+				})
+				if err != nil {
+					t.Error(err)
+					cancel()
+					return
+				}
+				clk.Go(func() { e.Run(ctx) })
+			}
+			reps[0].Store().Apply("k", replica.Entry{
+				Value: []byte("v"), Stamp: ts.Stamp{Counter: 1, Writer: 1},
+			})
+			clk.Sleep(horizon)
+			cancel()
+			for _, r := range reps {
+				if e, ok := r.Store().Get("k"); ok && e.Stamp.Counter >= 1 {
+					converged++
+				}
+			}
+		})
+		return converged, time.Since(start)
+	}
+	c1, wall := run()
+	if c1 != n {
+		t.Fatalf("after %v of virtual gossip only %d/%d stores hold the update", horizon, c1, n)
+	}
+	if wall > 5*time.Second {
+		t.Fatalf("2s-virtual gossip run took %v of wall time; the loop is sleeping for real", wall)
+	}
+	c2, _ := run()
+	if c2 != c1 {
+		t.Fatalf("free-running virtual gossip diverged between runs: %d vs %d converged", c1, c2)
+	}
+}
+
+// ids returns 0..n-1.
+func ids(n int) []quorum.ServerID {
+	out := make([]quorum.ServerID, n)
+	for i := range out {
+		out[i] = quorum.ServerID(i)
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/vtime"
 )
 
 // This file implements the straggler-tolerant access engine shared by Read
@@ -13,7 +14,7 @@ import (
 // servers when a member fails or a hedge delay elapses, and returns as soon
 // as the caller's completion rule is decidable, leaving stragglers to a
 // background drain that can never leak goroutines (every in-flight call owns
-// one goroutine that terminates when its transport call returns, and the
+// one worker that terminates when its transport call returns, and the
 // reply channel is buffered for every call that can ever be dispatched, so
 // senders never block).
 //
@@ -23,12 +24,120 @@ import (
 // identity — fires, so the access set that completes is the strategy's
 // sample conditioned on liveness, the same conditioning a full re-sample
 // performs, at a fraction of the latency.
+//
+// All timers and spawns go through the client's vtime.Clock. Under the
+// wall clock, calls run on a small pool of idle-retiring worker goroutines
+// (steady-state operations spawn no goroutines at all); under a
+// vtime.SimClock, every call runs as a registered scheduler worker and the
+// gather loop parks around its select, so hedge firing is part of the
+// deterministic virtual-time order.
 
-// callReply carries one server's response through the gather loop.
+// callReply carries one server's response through the gather loop. lat is
+// the call's round-trip latency, measured only when adaptive hedging needs
+// it.
 type callReply struct {
 	id   quorum.ServerID
 	resp any
 	err  error
+	lat  time.Duration
+}
+
+// dispatchJob is one transport call handed to a worker.
+type dispatchJob struct {
+	ctx   context.Context
+	id    quorum.ServerID
+	req   any
+	ch    chan<- callReply
+	timed bool
+}
+
+// poolIdleRetire is how long an idle wall-mode dispatch worker lingers for
+// the next job before exiting. Long enough to serve back-to-back
+// operations without spawning, short enough that a quiescent client leaves
+// no goroutines behind (the leak regressions poll well past this).
+const poolIdleRetire = 100 * time.Millisecond
+
+// runJob executes one transport call and delivers the reply. The reply
+// channel is buffered for every call that can ever be dispatched, so the
+// send never blocks; under a SimClock it is a tracked message.
+func (c *Client) runJob(j dispatchJob) {
+	var start time.Time
+	if j.timed {
+		start = c.clock.Now()
+	}
+	resp, err := c.opts.Transport.Call(j.ctx, j.id, j.req)
+	r := callReply{id: j.id, resp: resp, err: err}
+	if j.timed {
+		r.lat = c.clock.Since(start)
+	}
+	if c.sched != nil {
+		c.sched.NoteSend()
+	}
+	j.ch <- r
+}
+
+// dispatch hands one call to a worker: a registered scheduler worker under
+// a SimClock, otherwise an idle pooled goroutine (spawning a fresh one
+// only when none is parked on the jobs channel — after the first
+// operation warms the pool, steady-state reads and writes spawn nothing).
+func (c *Client) dispatch(ctx context.Context, id quorum.ServerID, req any, ch chan<- callReply, timed bool) {
+	j := dispatchJob{ctx: ctx, id: id, req: req, ch: ch, timed: timed}
+	if c.sched != nil {
+		c.sched.Go(func() { c.runJob(j) })
+		return
+	}
+	select {
+	case c.jobs <- j:
+	default:
+		go c.poolWorker(j)
+	}
+}
+
+// poolWorker runs jobs until it has been idle for poolIdleRetire. The jobs
+// channel is unbuffered, so a handoff only succeeds while a worker is
+// committed to receiving — a worker that chose to retire can never strand
+// a job.
+func (c *Client) poolWorker(j dispatchJob) {
+	idle := c.clock.NewTimer(poolIdleRetire)
+	defer idle.Stop()
+	for {
+		c.runJob(j)
+		idle.Reset(poolIdleRetire)
+		select {
+		case j = <-c.jobs:
+		case <-idle.C:
+			return
+		}
+	}
+}
+
+// goWorker runs fn on a goroutine the clock's scheduler knows about.
+func (c *Client) goWorker(fn func()) {
+	if c.sched != nil {
+		c.sched.Go(fn)
+		return
+	}
+	go fn()
+}
+
+// noopUnpark is park's no-op under the wall clock.
+func noopUnpark() {}
+
+// park marks the caller blocked for the SimClock quiescence detector; the
+// returned function must run as soon as the blocking select returns.
+func (c *Client) park() func() {
+	if c.sched == nil {
+		return noopUnpark
+	}
+	return c.sched.Park()
+}
+
+// noteRecv records consumption of a tracked message (a reply or a hedge
+// fire) under a SimClock.
+func (c *Client) noteRecv() {
+	if c.sched != nil {
+		c.sched.NoteRecv()
+	}
 }
 
 // gatherSpec parameterizes one gather run.
@@ -62,14 +171,9 @@ type gatherOutcome struct {
 func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 	total := len(spec.quorum) + len(spec.spares)
 	ch := make(chan callReply, total)
-	dispatch := func(id quorum.ServerID) {
-		go func() {
-			resp, err := c.opts.Transport.Call(ctx, id, spec.req)
-			ch <- callReply{id: id, resp: resp, err: err}
-		}()
-	}
+	timed := c.opts.AdaptiveHedge
 	for _, id := range spec.quorum {
-		dispatch(id)
+		c.dispatch(ctx, id, spec.req, ch, timed)
 	}
 	out := gatherOutcome{errs: make(map[quorum.ServerID]error), ch: ch}
 	outstanding := len(spec.quorum)
@@ -78,26 +182,39 @@ func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 		if next >= len(spec.spares) {
 			return false
 		}
-		dispatch(spec.spares[next])
+		c.dispatch(ctx, spec.spares[next], spec.req, ch, timed)
 		next++
 		outstanding++
 		out.promoted++
 		c.statPromoted.Add(1)
 		return true
 	}
-	var hedge *time.Timer
+	// The hedge delay is fixed for the whole operation: with AdaptiveHedge
+	// it is the estimator's current quantile, a function of pooled latency
+	// history from past operations only — never of this operation's access
+	// set — so hedge firing stays independent of server identity.
+	hedgeDelay := c.hedgeDelay()
+	var hedge *vtime.Timer
 	var hedgeC <-chan time.Time
-	if c.opts.HedgeDelay > 0 && len(spec.spares) > 0 {
-		hedge = time.NewTimer(c.opts.HedgeDelay)
+	if hedgeDelay > 0 && len(spec.spares) > 0 {
+		hedge = c.clock.NewTimer(hedgeDelay)
 		defer hedge.Stop()
 		hedgeC = hedge.C
 	}
 	for outstanding > 0 {
+		unpark := c.park()
 		select {
 		case r := <-ch:
+			unpark()
+			c.noteRecv()
 			outstanding--
-			if r.err == nil && spec.onOK != nil {
-				r.err = spec.onOK(r.id, r.resp)
+			if r.err == nil {
+				if timed {
+					c.lat.observe(r.id, r.lat)
+				}
+				if spec.onOK != nil {
+					r.err = spec.onOK(r.id, r.resp)
+				}
 			}
 			if r.err != nil {
 				out.errs[r.id] = r.err
@@ -114,12 +231,15 @@ func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 				return out
 			}
 		case <-hedgeC:
+			unpark()
+			c.noteRecv()
 			if promote() {
-				hedge.Reset(c.opts.HedgeDelay)
+				hedge.Reset(hedgeDelay)
 			} else {
 				hedgeC = nil // spares exhausted; stop hedging
 			}
 		case <-ctx.Done():
+			unpark()
 			out.leftover = outstanding
 			out.ctxErr = ctx.Err()
 			return out
@@ -129,21 +249,34 @@ func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 }
 
 // drain consumes the replies still in flight when a gather completed early,
-// from a background goroutine tracked by WaitDrained. onLate, when non-nil,
+// from a background worker tracked by WaitDrained. onLate, when non-nil,
 // sees each late reply (successful or failed) in arrival order. The late
 // calls run on the operation's context: a caller that cancels it after the
 // operation returns also aborts the stragglers (normal cancellation
 // semantics), in which case there is nothing to drain but errors — only
 // successful late replies count toward AccessStats.LateReplies.
+//
+// Late replies deliberately do NOT feed the adaptive-hedge latency
+// estimator: the estimator measures the population of replies that
+// complete operations, which is what the hedge delay competes with. A
+// straggler the hedge routed around is the tail being avoided — folding it
+// back in would drag the delay toward that tail until hedging stopped
+// firing at all. The loop stays self-correcting in the other direction
+// because a gather can never finish before quorum-size replies arrive: if
+// the whole cluster slows down, the in-gather samples slow down with it
+// and the delay rises.
 func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
 	if out.leftover == 0 {
 		return
 	}
 	c.drainWG.Add(1)
-	go func() {
+	c.goWorker(func() {
 		defer c.drainWG.Done()
 		for i := 0; i < out.leftover; i++ {
+			unpark := c.park()
 			r := <-out.ch
+			unpark()
+			c.noteRecv()
 			if r.err == nil {
 				c.statLate.Add(1)
 			}
@@ -151,7 +284,7 @@ func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
 				onLate(r)
 			}
 		}
-	}()
+	})
 }
 
 // pickWithSpares samples one access set plus the configured number of
@@ -224,16 +357,31 @@ type AccessStats struct {
 	// LateRepairs counts read-repair writes pushed to servers whose replies
 	// arrived after an eager read returned.
 	LateRepairs uint64
+
+	// LatencySamples, SRTT, RTTVar and HedgeDelay describe the adaptive-
+	// hedge latency estimator (zero unless Options.AdaptiveHedge is set):
+	// the number of reply latencies observed, the pooled latency EWMA and
+	// deviation EWMA, and the hedge delay currently in effect
+	// (SRTT + HedgeDeviations·RTTVAR once warmed up).
+	LatencySamples uint64
+	SRTT           time.Duration
+	RTTVar         time.Duration
+	HedgeDelay     time.Duration
 }
 
 // Stats returns a snapshot of the client's straggler-tolerance counters.
 func (c *Client) Stats() AccessStats {
-	return AccessStats{
+	s := AccessStats{
 		SparesPromoted:   c.statPromoted.Load(),
 		EarlyCompletions: c.statEarly.Load(),
 		LateReplies:      c.statLate.Load(),
 		LateRepairs:      c.statLateRepairs.Load(),
 	}
+	if c.opts.AdaptiveHedge {
+		s.LatencySamples, s.SRTT, s.RTTVar = c.lat.snapshot()
+		s.HedgeDelay = c.hedgeDelay()
+	}
+	return s
 }
 
 // WaitDrained blocks until every background drain spawned by completed

@@ -23,6 +23,7 @@ import (
 	"pqs/internal/sv"
 	"pqs/internal/transport"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -111,8 +112,32 @@ type Options struct {
 	Spares int
 	// HedgeDelay, when positive, promotes one spare each time this delay
 	// elapses before the operation completes (latency hedging). Zero means
-	// spares are promoted only on observed member failure.
+	// spares are promoted only on observed member failure. With
+	// AdaptiveHedge set this is only the bootstrap value used until the
+	// latency estimator has warmed up.
 	HedgeDelay time.Duration
+	// AdaptiveHedge derives the hedge delay from an online latency
+	// estimate instead of the fixed HedgeDelay: the client keeps a pooled
+	// EWMA of reply latency (SRTT) and an EWMA of its deviation (RTTVAR,
+	// Jacobson/Karels gains) and hedges at SRTT + HedgeDeviations·RTTVAR —
+	// an upper-quantile estimate that tracks the cluster as it speeds up
+	// or degrades. Per-server EWMAs are kept for observability
+	// (ServerLatencies) but never steer the delay: the hedge timer stays a
+	// function of pooled history from past operations only, independent of
+	// which servers the current access set contains, preserving the
+	// identity-blind-timer premise of the ε argument above. Requires
+	// Spares > 0 and a positive HedgeDelay (the pre-warmup bootstrap).
+	AdaptiveHedge bool
+	// HedgeDeviations is the adaptive-hedge quantile knob: the number of
+	// deviations above the latency EWMA at which the hedge fires.
+	// 0 means the default (4, the classic RTO multiplier).
+	HedgeDeviations float64
+	// Time supplies timers, sleeps and latency measurement. Nil means the
+	// wall clock. The sim and chaos harnesses install a vtime.SimClock,
+	// which makes hedge timers deterministic and virtual-latency runs
+	// complete in wall-clock milliseconds; every goroutine the client
+	// spawns then registers with the SimClock scheduler.
+	Time vtime.Clock
 	// EagerRead makes Read return as soon as the mode's acceptance rule is
 	// decidable instead of waiting for every dispatched call:
 	//
@@ -141,12 +166,27 @@ type Options struct {
 type Client struct {
 	opts Options
 
+	// clock is Options.Time or the wall clock; sched is non-nil when it is
+	// a vtime.SimClock, switching every spawn and blocking wait to the
+	// scheduler's discipline (see access.go).
+	clock vtime.Clock
+	sched *vtime.SimClock
+
 	mu       sync.Mutex // guards rng (not goroutine safe) and pickFree
 	rng      *rand.Rand
 	pickFree [][]quorum.ServerID // recycled sampling buffers (see access.go)
 
+	// jobs hands dispatch work to idle pooled workers (wall mode only; see
+	// dispatch in access.go).
+	jobs chan dispatchJob
+
+	// lat is the adaptive-hedge latency estimator; hedgeK its quantile
+	// knob (Options.HedgeDeviations resolved).
+	lat    latencyEstimator
+	hedgeK float64
+
 	accessCounters
-	drainWG sync.WaitGroup
+	drainWG *vtime.WaitGroup
 }
 
 // NewClient validates the option combination and returns a client.
@@ -188,7 +228,32 @@ func NewClient(opts Options) (*Client, error) {
 	if opts.W < 0 {
 		return nil, fmt.Errorf("register: W %d must be non-negative", opts.W)
 	}
-	return &Client{opts: opts, rng: opts.Rand}, nil
+	if opts.HedgeDeviations < 0 {
+		return nil, fmt.Errorf("register: HedgeDeviations %v must be non-negative", opts.HedgeDeviations)
+	}
+	if opts.AdaptiveHedge {
+		if opts.Spares <= 0 {
+			return nil, errors.New("register: AdaptiveHedge requires Spares > 0")
+		}
+		if opts.HedgeDelay <= 0 {
+			return nil, errors.New("register: AdaptiveHedge requires a positive HedgeDelay bootstrap")
+		}
+	}
+	clk := vtime.Or(opts.Time)
+	sched, _ := clk.(*vtime.SimClock)
+	k := opts.HedgeDeviations
+	if k == 0 {
+		k = defaultHedgeDeviations
+	}
+	return &Client{
+		opts:    opts,
+		clock:   clk,
+		sched:   sched,
+		rng:     opts.Rand,
+		jobs:    make(chan dispatchJob),
+		hedgeK:  k,
+		drainWG: vtime.NewWaitGroup(clk),
+	}, nil
 }
 
 // Mode returns the client's protocol mode.

@@ -2,9 +2,9 @@ package register
 
 import (
 	"context"
-	"sync"
 
 	"pqs/internal/quorum"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -34,14 +34,15 @@ func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID m
 	}
 	targets := repairTargets(res, byID, errs, inFlight)
 	req := wire.WriteRequest{Key: key, Value: res.Value, Stamp: res.Stamp, Sig: sig}
-	var wg sync.WaitGroup
+	wg := vtime.NewWaitGroup(c.clock)
 	for _, id := range targets {
+		id := id
 		wg.Add(1)
-		go func(id quorum.ServerID) {
+		c.goWorker(func() {
 			defer wg.Done()
 			// Best effort: a failed repair changes nothing.
 			_, _ = c.opts.Transport.Call(ctx, id, req)
-		}(id)
+		})
 	}
 	wg.Wait()
 	res.Repaired = len(targets)

@@ -9,6 +9,7 @@ import (
 
 	"pqs/internal/quorum"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -81,10 +82,12 @@ func (Stale) OnWrite(wire.WriteRequest) (bool, error) { return false, nil }
 // answer, turning a live server into a straggler. It is the fault-injection
 // counterpart of MemNetwork's per-server latency for transports (like TCP)
 // that carry real traffic and cannot inject delay themselves. A nil Inner
-// delays Correct behavior.
+// delays Correct behavior; a nil Clock sleeps on the wall clock, while the
+// harnesses inject a vtime.SimClock so the delay is virtual.
 type Delayed struct {
 	Inner Behavior
 	Delay time.Duration
+	Clock vtime.Clock
 }
 
 func (d Delayed) inner() Behavior {
@@ -96,13 +99,13 @@ func (d Delayed) inner() Behavior {
 
 // OnRead implements Behavior.
 func (d Delayed) OnRead(key string, correct wire.ReadReply) (wire.ReadReply, error) {
-	time.Sleep(d.Delay)
+	vtime.Or(d.Clock).Sleep(d.Delay)
 	return d.inner().OnRead(key, correct)
 }
 
 // OnWrite implements Behavior.
 func (d Delayed) OnWrite(req wire.WriteRequest) (bool, error) {
-	time.Sleep(d.Delay)
+	vtime.Or(d.Clock).Sleep(d.Delay)
 	return d.inner().OnWrite(req)
 }
 

@@ -12,10 +12,12 @@ import (
 // TestMeasureConsistencyDeterministic is the determinism regression for the
 // Monte-Carlo harness: two MeasureConsistency invocations with the same
 // seed must produce identical results, including under simulated loss and
-// failure-triggered spare promotion (the drop decision is counter-hashed
-// per destination, so the pattern replays from the seed even though calls
-// are dispatched concurrently). Hedge timers are the one wall-clock input,
-// so HedgeDelay stays zero here.
+// failure-triggered spare promotion (drop decisions and latency draws are
+// counter-hashed per destination, so both replay from the seed even though
+// calls are dispatched concurrently). Hedge timers used to be the one
+// wall-clock input and forced HedgeDelay to zero here; under Virtual the
+// vtime.SimClock folds them into the replayable event order, so the
+// hedged cases below assert bit-equality too.
 func TestMeasureConsistencyDeterministic(t *testing.T) {
 	sys, err := core.NewEpsilonIntersectingEll(60, 2.5)
 	if err != nil {
@@ -34,6 +36,30 @@ func TestMeasureConsistencyDeterministic(t *testing.T) {
 		{"benign-lossy-spares", ConsistencyConfig{System: sys, Mode: register.Benign, Trials: 150, Seed: 13, DropProb: 0.08, Spares: 3}},
 		{"masking-byz", ConsistencyConfig{System: mask, Mode: register.Masking, K: mask.K(), B: mask.B(), Trials: 120, Seed: 14}},
 		{"dissem-byz-eager", ConsistencyConfig{System: sys, Mode: register.Dissemination, B: 4, Trials: 120, Seed: 15, EagerRead: true}},
+
+		// Hedged configurations under a SimClock — the cases PR 3 had to
+		// exclude from this suite because hedge timers read the wall
+		// clock. Virtual time puts timer firing into the replayable event
+		// order, so even runs whose spare promotion is timer-driven must
+		// be bit-identical.
+		{"virtual-hedged", ConsistencyConfig{
+			System: sys, Mode: register.Benign, Trials: 120, Seed: 16,
+			Virtual: true, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			StragglerN: 3, StragglerLatency: 25 * time.Millisecond,
+			Spares: 2, HedgeDelay: 5 * time.Millisecond, EagerRead: true,
+		}},
+		{"virtual-adaptive-hedged-lossy", ConsistencyConfig{
+			System: sys, Mode: register.Benign, Trials: 120, Seed: 17,
+			Virtual: true, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			StragglerN: 3, StragglerLatency: 25 * time.Millisecond, DropProb: 0.05,
+			Spares: 3, HedgeDelay: 5 * time.Millisecond, AdaptiveHedge: true, EagerRead: true,
+		}},
+		{"virtual-masking-byz-hedged", ConsistencyConfig{
+			System: mask, Mode: register.Masking, K: mask.K(), B: mask.B(), Trials: 100, Seed: 18,
+			Virtual: true, LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			StragglerN: 2, StragglerLatency: 20 * time.Millisecond,
+			Spares: 2, HedgeDelay: 4 * time.Millisecond, AdaptiveHedge: true, EagerRead: true,
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -75,12 +101,13 @@ func diffResults(a, b ConsistencyResult) string {
 	return fmt.Sprintf("results differ but fields match?\n  a: %+v\n  b: %+v", a, b)
 }
 
-// TestMeasureConsistencyHedgedStillSafe pins down the one knowingly
-// nondeterministic knob: with HedgeDelay set, spare promotion depends on
-// wall-clock timers, so results may legitimately differ between runs — but
-// the measurement must still complete and stay within sane bounds. This
-// documents the boundary of the determinism contract rather than asserting
-// bit-equality.
+// TestMeasureConsistencyHedgedStillSafe pins down the remaining knowingly
+// nondeterministic configuration: hedging under the WALL clock (Virtual
+// unset), where spare promotion depends on real timers and results may
+// legitimately differ between runs — but the measurement must still
+// complete and stay within sane bounds. This documents the boundary of the
+// determinism contract: wall-clock hedging is best-effort, virtual-clock
+// hedging (above) is bit-exact.
 func TestMeasureConsistencyHedgedStillSafe(t *testing.T) {
 	sys, err := core.NewEpsilonIntersectingEll(40, 2.5)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"pqs/internal/sv"
 	"pqs/internal/transport"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 )
 
 // Cluster is a set of replicas on a simulated network.
@@ -33,9 +34,19 @@ type Cluster struct {
 	Replicas []*replica.Replica
 }
 
-// NewCluster builds n correct replicas on a fresh simulated network.
+// NewCluster builds n correct replicas on a fresh simulated network (wall
+// clock).
 func NewCluster(n int, seed int64) *Cluster {
+	return NewClusterClock(n, seed, nil)
+}
+
+// NewClusterClock builds a cluster whose network runs on the given time
+// source (nil means the wall clock). The harnesses pass a vtime.SimClock
+// so simulated latency is virtual: instant to execute, deterministic to
+// replay.
+func NewClusterClock(n int, seed int64, clk vtime.Clock) *Cluster {
 	c := &Cluster{Net: transport.NewMemNetwork(seed)}
+	c.Net.SetClock(clk)
 	for i := 0; i < n; i++ {
 		r := replica.New(quorum.ServerID(i))
 		c.Replicas = append(c.Replicas, r)
@@ -72,12 +83,35 @@ type ConsistencyConfig struct {
 	Spares     int
 	HedgeDelay time.Duration
 	EagerRead  bool
+	// AdaptiveHedge and HedgeDeviations enable the adaptive hedge-delay
+	// estimator (register.Options.AdaptiveHedge): the delay tracks
+	// SRTT + HedgeDeviations·RTTVAR of the observed reply latencies.
+	AdaptiveHedge   bool
+	HedgeDeviations float64
 	// DropProb makes the simulated network lose each call with this
 	// probability, forcing failure-triggered spare promotion.
 	DropProb float64
 	// WriteW, when non-zero, completes writes at WriteW acknowledgements
 	// (register.Options.W).
 	WriteW int
+
+	// Virtual runs the measurement under a fresh vtime.SimClock: simulated
+	// latency and hedge timers execute in virtual time, so a run that
+	// simulates minutes completes in wall milliseconds AND is bit-for-bit
+	// deterministic even with hedging enabled — the configuration the
+	// wall clock could never replay.
+	Virtual bool
+	// LatencyMin and LatencyMax, when LatencyMax > 0, give every call a
+	// uniform simulated latency in [LatencyMin, LatencyMax] (drawn
+	// deterministically from the seed). This is what makes hedge timers
+	// meaningful under Virtual: without latency every reply is instant and
+	// no hedge ever fires.
+	LatencyMin, LatencyMax time.Duration
+	// StragglerN and StragglerLatency, when StragglerN > 0, override the
+	// latency of servers 0..StragglerN-1 to exactly StragglerLatency,
+	// modelling a slow subset the hedge should route around.
+	StragglerN       int
+	StragglerLatency time.Duration
 }
 
 // ConsistencyResult summarizes a consistency measurement.
@@ -93,12 +127,33 @@ type ConsistencyResult struct {
 	// Rate is the empirical failure probability (1 - Correct/Trials): the
 	// quantity Theorems 3.2/4.2/5.2 bound by ε.
 	Rate float64
+	// SimElapsed is the virtual time the run consumed (zero unless
+	// ConsistencyConfig.Virtual): the "simulated seconds" side of the
+	// speedup a SimClock buys over real-time sleeps.
+	SimElapsed time.Duration
 }
 
 // MeasureConsistency runs write-then-read trials (reads never concurrent
 // with writes, matching the theorems' premise) and reports how often the
-// read missed the last written value.
+// read missed the last written value. With cfg.Virtual the whole
+// measurement executes inside a vtime.SimClock scheduler.
 func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
+	if !cfg.Virtual {
+		return measureConsistency(cfg, nil)
+	}
+	sc := vtime.NewSimClock()
+	var res ConsistencyResult
+	var err error
+	sc.Run(func() {
+		res, err = measureConsistency(cfg, sc)
+	})
+	res.SimElapsed = sc.Elapsed()
+	return res, err
+}
+
+// measureConsistency is the measurement body, running on clk (nil = wall;
+// under a SimClock the caller is a registered scheduler worker).
+func measureConsistency(cfg ConsistencyConfig, clk *vtime.SimClock) (ConsistencyResult, error) {
 	if cfg.Trials <= 0 {
 		return ConsistencyResult{}, errors.New("sim: Trials must be positive")
 	}
@@ -106,22 +161,37 @@ func MeasureConsistency(cfg ConsistencyConfig) (ConsistencyResult, error) {
 		return ConsistencyResult{}, errors.New("sim: System is required")
 	}
 	n := cfg.System.N()
-	cluster := NewCluster(n, cfg.Seed)
+	var netClk vtime.Clock // avoid a typed-nil *SimClock inside the interface
+	if clk != nil {
+		netClk = clk
+	}
+	cluster := NewClusterClock(n, cfg.Seed, netClk)
 	if cfg.DropProb > 0 {
 		cluster.Net.SetDropProb(cfg.DropProb)
 	}
+	if cfg.LatencyMax > 0 {
+		cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+	}
+	for i := 0; i < cfg.StragglerN && i < n; i++ {
+		cluster.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
+	}
 
 	opts := register.Options{
-		System:     cfg.System,
-		Mode:       cfg.Mode,
-		K:          cfg.K,
-		Transport:  cluster.Net,
-		Rand:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		Clock:      ts.NewClock(1),
-		Spares:     cfg.Spares,
-		HedgeDelay: cfg.HedgeDelay,
-		EagerRead:  cfg.EagerRead,
-		W:          cfg.WriteW,
+		System:          cfg.System,
+		Mode:            cfg.Mode,
+		K:               cfg.K,
+		Transport:       cluster.Net,
+		Rand:            rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:           ts.NewClock(1),
+		Spares:          cfg.Spares,
+		HedgeDelay:      cfg.HedgeDelay,
+		EagerRead:       cfg.EagerRead,
+		AdaptiveHedge:   cfg.AdaptiveHedge,
+		HedgeDeviations: cfg.HedgeDeviations,
+		W:               cfg.WriteW,
+	}
+	if clk != nil {
+		opts.Time = clk
 	}
 
 	forgedValue := []byte("\x00fabricated")

@@ -12,12 +12,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/vtime"
 )
 
 // Common transport errors. Callers match them with errors.Is.
@@ -123,27 +123,28 @@ type MemNetwork struct {
 	// LinkHook).
 	hook LinkHook
 
-	// dropSeq holds one counter per destination. The built-in drop decision
-	// hashes (seed, destination, per-destination call count), so a run whose
-	// per-destination call sequence is deterministic — sequential client
-	// operations, as in the sim and chaos harnesses — replays its drop
-	// pattern exactly from the seed, even though the calls themselves are
+	// clock supplies simulated-latency sleeps and fault delays. The wall
+	// clock by default; the sim and chaos harnesses install a
+	// vtime.SimClock so latency becomes virtual (instant to execute,
+	// deterministic to replay). See SetClock.
+	clock vtime.Clock
+
+	// callSeq holds one counter per destination. Both the built-in drop
+	// decision and the latency draw hash (seed, destination,
+	// per-destination call count), so a run whose per-destination call
+	// sequence is deterministic — sequential client operations, as in the
+	// sim and chaos harnesses — replays its drop pattern AND its latency
+	// schedule exactly from the seed, even though the calls themselves are
 	// dispatched concurrently. (Which servers an operation calls never
 	// depends on reply arrival order, only on the client's own seeded
 	// sampling, so the per-destination counts are scheduling-independent.)
-	dropSeq map[quorum.ServerID]*atomic.Uint64
+	// Counter-hashing replaced the PR 2 pooled-PRNG latency draws: it is
+	// lock-free AND deterministic, which virtual-time hedging requires —
+	// under a SimClock, latency decides which replies a hedged read
+	// collects, so it must replay from the seed like drops always have.
+	callSeq map[quorum.ServerID]*atomic.Uint64
 
-	// Latency randomness. A single seeded *rand.Rand behind a mutex was the
-	// throughput bottleneck of concurrent Call benchmarks (every call takes
-	// the lock even when only drawing latency), so the network hands out
-	// per-goroutine PRNGs from a pool instead. Each pool entry is seeded
-	// from the network seed and a distinct sequence number, so runs stay
-	// reproducible for sequential callers and statistically faithful for
-	// concurrent ones. Latency only shifts timing, never recorded results,
-	// which is why it may stay pooled while drops are counter-hashed.
-	seed    uint64
-	rngSeq  atomic.Uint64
-	rngPool sync.Pool
+	seed uint64
 }
 
 // latRange is a per-server latency override.
@@ -158,24 +159,23 @@ func NewMemNetwork(seed int64) *MemNetwork {
 		handlers: make(map[quorum.ServerID]Handler),
 		crashed:  make(map[quorum.ServerID]bool),
 		groups:   make(map[quorum.ServerID]int),
-		dropSeq:  make(map[quorum.ServerID]*atomic.Uint64),
+		callSeq:  make(map[quorum.ServerID]*atomic.Uint64),
 		seed:     uint64(seed),
+		clock:    vtime.Wall(),
 	}
 }
 
-// getRNG returns a pooled PRNG, creating one seeded from the network seed
-// and a fresh sequence number when the pool is empty.
-func (n *MemNetwork) getRNG() *rand.Rand {
-	if r, ok := n.rngPool.Get().(*rand.Rand); ok {
-		return r
-	}
-	return rand.New(rand.NewSource(int64(splitmix64(n.seed + n.rngSeq.Add(1)))))
+// SetClock installs the time source for simulated latency and fault
+// delays (nil restores the wall clock). Install before traffic flows; the
+// harnesses set it once at cluster construction.
+func (n *MemNetwork) SetClock(clk vtime.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = vtime.Or(clk)
 }
 
-func (n *MemNetwork) putRNG(r *rand.Rand) { n.rngPool.Put(r) }
-
-// splitmix64 is the standard 64-bit finalizer used to decorrelate pool-entry
-// seeds derived from consecutive sequence numbers.
+// splitmix64 is the standard 64-bit finalizer used to decorrelate the
+// per-call decision words derived from consecutive sequence numbers.
 func splitmix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
 	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
@@ -190,8 +190,8 @@ func (n *MemNetwork) Register(id quorum.ServerID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[id] = h
-	if n.dropSeq[id] == nil {
-		n.dropSeq[id] = new(atomic.Uint64)
+	if n.callSeq[id] == nil {
+		n.callSeq[id] = new(atomic.Uint64)
 	}
 }
 
@@ -200,7 +200,7 @@ func (n *MemNetwork) Register(id quorum.ServerID, h Handler) {
 // registered — its crash flag, partition group and latency override are
 // forgotten too, so a later Register rejoins a genuinely fresh member.
 // Together with Register it models mid-run membership churn (leave/join).
-// The drop-decision counter for the id is retained so a rejoin does not
+// The call-sequence counter for the id is retained so a rejoin does not
 // replay the departed server's fault pattern.
 func (n *MemNetwork) Deregister(id quorum.ServerID) {
 	n.mu.Lock()
@@ -317,8 +317,9 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	h, ok := n.handlers[to]
 	crashed := n.crashed[to]
 	drop := n.dropProb
-	dropCnt := n.dropSeq[to]
+	callCnt := n.callSeq[to]
 	hook := n.hook
+	clock := n.clock
 	minLat, maxLat := n.minLat, n.maxLat
 	if lr, ok := n.perServer[to]; ok {
 		minLat, maxLat = lr.min, lr.max
@@ -345,33 +346,36 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 			req = fault.ReplaceReq
 		}
 	}
-	if drop > 0 {
-		// Counter-hashed rather than drawn from the pooled PRNGs: the
-		// decision depends only on (seed, destination, per-destination call
-		// count), so harnesses that keep the call sequence deterministic
-		// replay drop patterns byte-for-byte (see dropSeq).
-		seq := dropCnt.Add(1)
-		u := splitmix64(n.seed ^ (uint64(to)+1)<<32 ^ seq)
-		if float64(u>>11)/(1<<53) < drop {
-			return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
-		}
-	}
-	if maxLat > minLat {
-		rng := n.getRNG()
-		d := minLat + time.Duration(rng.Int63n(int64(maxLat-minLat+1)))
-		n.putRNG(rng)
-		if d > 0 {
-			if err := sleep(ctx, d); err != nil {
-				return nil, err
+	if drop > 0 || maxLat > minLat {
+		// One decision word per call, counter-hashed: both the drop verdict
+		// and the latency draw depend only on (seed, destination,
+		// per-destination call count), so harnesses that keep the call
+		// sequence deterministic replay drops and latency byte-for-byte
+		// (see callSeq).
+		seq := callCnt.Add(1)
+		base := splitmix64(n.seed ^ (uint64(to)+1)<<32 ^ seq)
+		if drop > 0 {
+			u := splitmix64(base ^ 0x0D)
+			if float64(u>>11)/(1<<53) < drop {
+				return nil, fmt.Errorf("server %d: %w", to, ErrDropped)
 			}
 		}
-	} else if maxLat > 0 {
-		if err := sleep(ctx, minLat); err != nil {
+		if maxLat > minLat {
+			d := minLat + time.Duration(splitmix64(base^0x1A)%uint64(maxLat-minLat+1))
+			if d > 0 {
+				if err := clock.SleepCtx(ctx, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if maxLat == minLat && maxLat > 0 {
+		if err := clock.SleepCtx(ctx, minLat); err != nil {
 			return nil, err
 		}
 	}
 	if fault.Delay > 0 {
-		if err := sleep(ctx, fault.Delay); err != nil {
+		if err := clock.SleepCtx(ctx, fault.Delay); err != nil {
 			return nil, err
 		}
 	}
@@ -388,36 +392,6 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 		resp, err = fault.MutateReply(resp, err)
 	}
 	return resp, err
-}
-
-// timerPool recycles latency timers across simulated calls: allocating a
-// time.Timer (plus its runtime timer) per call dominated MemNetwork
-// profiles once the PRNG lock was gone.
-var timerPool = sync.Pool{New: func() any { return time.NewTimer(time.Hour) }}
-
-// sleep blocks for d or until ctx is done, using a pooled timer.
-func sleep(ctx context.Context, d time.Duration) error {
-	t := timerPool.Get().(*time.Timer)
-	if !t.Stop() {
-		// A fresh pool entry (or a rare straggler) may have fired; drain so
-		// Reset arms cleanly.
-		select {
-		case <-t.C:
-		default:
-		}
-	}
-	t.Reset(d)
-	select {
-	case <-t.C:
-		timerPool.Put(t)
-		return nil
-	case <-ctx.Done():
-		if !t.Stop() {
-			<-t.C
-		}
-		timerPool.Put(t)
-		return ctx.Err()
-	}
 }
 
 var _ Transport = (*MemNetwork)(nil)

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pqs/internal/vtime"
+)
+
+// TestMemNetworkVirtualLatency checks the latency path on a SimClock: the
+// injected per-call delay is served in virtual time (instant on the wall,
+// exact on the virtual clock) and the counter-hashed draw replays from the
+// seed — the property that lets hedged runs join the determinism contract.
+func TestMemNetworkVirtualLatency(t *testing.T) {
+	const calls = 50
+	run := func() []time.Duration {
+		clk := vtime.NewSimClock()
+		var lats []time.Duration
+		clk.Run(func() {
+			n := NewMemNetwork(99)
+			n.SetClock(clk)
+			n.Register(1, HandlerFunc(func(context.Context, any) (any, error) { return "ok", nil }))
+			n.SetLatency(2*time.Millisecond, 9*time.Millisecond)
+			ctx := context.Background()
+			for i := 0; i < calls; i++ {
+				start := clk.Now()
+				if _, err := n.Call(ctx, 1, "ping"); err != nil {
+					t.Errorf("call %d: %v", i, err)
+					return
+				}
+				lats = append(lats, clk.Since(start))
+			}
+		})
+		return lats
+	}
+	a := run()
+	if len(a) != calls {
+		t.Fatalf("got %d latencies", len(a))
+	}
+	seen := map[time.Duration]bool{}
+	for i, d := range a {
+		if d < 2*time.Millisecond || d > 9*time.Millisecond {
+			t.Fatalf("call %d: virtual latency %v outside [2ms, 9ms]", i, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("latency draws look degenerate: only %d distinct values over %d calls", len(seen), calls)
+	}
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("latency schedule did not replay: call %d was %v then %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMemNetworkPerServerVirtualLatency checks SetServerLatency overrides
+// flow through the virtual clock too (the straggler mechanism the adaptive
+// hedge tests rely on).
+func TestMemNetworkPerServerVirtualLatency(t *testing.T) {
+	clk := vtime.NewSimClock()
+	clk.Run(func() {
+		n := NewMemNetwork(7)
+		n.SetClock(clk)
+		h := HandlerFunc(func(context.Context, any) (any, error) { return "ok", nil })
+		n.Register(1, h)
+		n.Register(2, h)
+		n.SetLatency(time.Millisecond, 2*time.Millisecond)
+		n.SetServerLatency(2, 30*time.Millisecond, 30*time.Millisecond)
+		ctx := context.Background()
+
+		start := clk.Now()
+		if _, err := n.Call(ctx, 1, "ping"); err != nil {
+			t.Error(err)
+			return
+		}
+		if d := clk.Since(start); d > 2*time.Millisecond {
+			t.Errorf("fast server took %v virtual", d)
+		}
+		start = clk.Now()
+		if _, err := n.Call(ctx, 2, "ping"); err != nil {
+			t.Error(err)
+			return
+		}
+		if d := clk.Since(start); d != 30*time.Millisecond {
+			t.Errorf("straggler took %v virtual, want exactly 30ms", d)
+		}
+	})
+	if got := clk.Elapsed(); got > 33*time.Millisecond {
+		t.Fatalf("run consumed %v virtual, want ~31-32ms", got)
+	}
+}
+
+// TestServerLatencyFixedRange covers the fixed-latency branch
+// (min == max > 0) that skips the counter-hashed draw.
+func TestServerLatencyFixedRange(t *testing.T) {
+	clk := vtime.NewSimClock()
+	clk.Run(func() {
+		n := NewMemNetwork(7)
+		n.SetClock(clk)
+		n.Register(1, HandlerFunc(func(context.Context, any) (any, error) { return "ok", nil }))
+		n.SetLatency(5*time.Millisecond, 5*time.Millisecond)
+		start := clk.Now()
+		if _, err := n.Call(context.Background(), 1, "ping"); err != nil {
+			t.Error(err)
+			return
+		}
+		if d := clk.Since(start); d != 5*time.Millisecond {
+			t.Errorf("fixed latency call took %v, want exactly 5ms", d)
+		}
+	})
+}

@@ -1,0 +1,292 @@
+package vtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSimTimersFireInVirtualOrder locks in guarantee 1 of the package doc:
+// timers fire in nondecreasing deadline order, ties broken by creation
+// sequence, regardless of creation order.
+func TestSimTimersFireInVirtualOrder(t *testing.T) {
+	clk := NewSimClock()
+	var order []int
+	clk.Run(func() {
+		done := NewWaitGroup(clk)
+		fire := func(i int, d time.Duration) {
+			done.Add(1)
+			clk.AfterFunc(d, func() {
+				order = append(order, i)
+				done.Done()
+			})
+		}
+		fire(3, 30*time.Millisecond)
+		fire(1, 10*time.Millisecond)
+		fire(2, 10*time.Millisecond) // same deadline as 1; created later
+		fire(4, 40*time.Millisecond)
+		done.Wait()
+	})
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+	if got := clk.Elapsed(); got != 40*time.Millisecond {
+		t.Fatalf("elapsed %v, want 40ms", got)
+	}
+}
+
+// TestSimSleepAdvancesInstantly proves the speedup mechanism: simulated
+// hours complete in wall milliseconds.
+func TestSimSleepAdvancesInstantly(t *testing.T) {
+	clk := NewSimClock()
+	start := time.Now()
+	clk.Run(func() {
+		for i := 0; i < 100; i++ {
+			clk.Sleep(time.Hour)
+		}
+	})
+	if wall := time.Since(start); wall > 2*time.Second {
+		t.Fatalf("100 simulated hours took %v of wall time", wall)
+	}
+	if got := clk.Elapsed(); got != 100*time.Hour {
+		t.Fatalf("elapsed %v, want 100h", got)
+	}
+}
+
+// TestSimConcurrentSleepers checks quiescence detection with many workers:
+// time advances only when all are parked, and each wakes at its own
+// virtual deadline.
+func TestSimConcurrentSleepers(t *testing.T) {
+	clk := NewSimClock()
+	var woke [8]time.Duration
+	clk.Run(func() {
+		wg := NewWaitGroup(clk)
+		for i := 0; i < 8; i++ {
+			i := i
+			wg.Add(1)
+			clk.Go(func() {
+				defer wg.Done()
+				clk.Sleep(time.Duration(i+1) * time.Millisecond)
+				woke[i] = clk.Now().Sub(simEpoch)
+			})
+		}
+		wg.Wait()
+	})
+	for i, d := range woke {
+		if d != time.Duration(i+1)*time.Millisecond {
+			t.Fatalf("worker %d woke at %v", i, d)
+		}
+	}
+}
+
+// TestSimTrackedChannelHandoff exercises the NoteSend/Park/NoteRecv
+// protocol gather-style loops use: a producer sleeping virtual latency
+// hands results to a parked consumer, and the hedge-style timer fires only
+// when the producer is slower than the hedge deadline.
+func TestSimTrackedChannelHandoff(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		latency   time.Duration
+		wantHedge bool
+	}{
+		{"fast-producer", 2 * time.Millisecond, false},
+		{"slow-producer", 20 * time.Millisecond, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := NewSimClock()
+			hedged := false
+			clk.Run(func() {
+				ch := make(chan int, 1)
+				clk.Go(func() {
+					clk.Sleep(tc.latency)
+					clk.NoteSend()
+					ch <- 42
+				})
+				hedge := clk.NewTimer(10 * time.Millisecond)
+				defer hedge.Stop()
+				for {
+					unpark := clk.Park()
+					select {
+					case v := <-ch:
+						unpark()
+						clk.NoteRecv()
+						if v != 42 {
+							t.Errorf("got %d", v)
+						}
+						return
+					case <-hedge.C:
+						unpark()
+						clk.NoteRecv()
+						hedged = true
+					}
+				}
+			})
+			if hedged != tc.wantHedge {
+				t.Fatalf("hedged=%v, want %v", hedged, tc.wantHedge)
+			}
+		})
+	}
+}
+
+// TestSimSleepCtxCancel checks that a context cancelled from inside the
+// simulated world aborts a virtual sleep. Cancellation is outside the
+// determinism contract (the wake is invisible to the scheduler), but the
+// observable outcome — a prompt ctx.Err() — must hold either way.
+func TestSimSleepCtxCancel(t *testing.T) {
+	clk := NewSimClock()
+	var err error
+	clk.Run(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		clk.AfterFunc(5*time.Millisecond, cancel)
+		err = clk.SleepCtx(ctx, time.Hour)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSimTimerStopReset checks Stop cancels a pending timer for good and
+// Reset moves a pending timer to its new deadline.
+func TestSimTimerStopReset(t *testing.T) {
+	clk := NewSimClock()
+	clk.Run(func() {
+		tm := clk.NewTimer(time.Millisecond)
+		if !tm.Stop() {
+			t.Error("Stop on pending timer = false")
+		}
+		// The stopped timer must not fire: sleep past its old deadline.
+		clk.Sleep(2 * time.Millisecond)
+
+		tm2 := clk.NewTimer(time.Millisecond)
+		if !tm2.Reset(3 * time.Millisecond) {
+			t.Error("Reset on pending timer = false")
+		}
+		unpark := clk.Park()
+		<-tm2.C
+		unpark()
+		clk.NoteRecv()
+		if got := clk.Elapsed(); got != 5*time.Millisecond {
+			t.Errorf("reset timer fired at %v, want 5ms (2ms + reset 3ms)", got)
+		}
+	})
+}
+
+// TestSimDeadlockPanics locks in the failure mode: a worker blocked on an
+// event that can never happen panics the run instead of hanging.
+func TestSimDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+	}()
+	clk := NewSimClock()
+	clk.Run(func() {
+		unpark := clk.Park()
+		defer unpark()
+		<-make(chan struct{}) // never satisfied, no timer pending
+	})
+}
+
+// TestSimWaitGroupReleaseOrdering checks the scheduler does not advance
+// time between a WaitGroup release and the waiter resuming: the waiter
+// observes the virtual time of the final Done, not of any later timer.
+func TestSimWaitGroupReleaseOrdering(t *testing.T) {
+	clk := NewSimClock()
+	var at time.Duration
+	clk.Run(func() {
+		wg := NewWaitGroup(clk)
+		wg.Add(1)
+		clk.Go(func() {
+			clk.Sleep(3 * time.Millisecond)
+			wg.Done()
+		})
+		// A later timer the scheduler could wrongly jump to.
+		lure := clk.NewTimer(time.Hour)
+		defer lure.Stop()
+		wg.Wait()
+		at = clk.Elapsed()
+	})
+	if at != 3*time.Millisecond {
+		t.Fatalf("waiter resumed at %v, want 3ms", at)
+	}
+}
+
+// TestWallClockBasics smoke-tests the production implementation.
+func TestWallClockBasics(t *testing.T) {
+	c := Wall()
+	if Or(nil) != c {
+		t.Fatal("Or(nil) is not the wall clock")
+	}
+	start := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(start) <= 0 {
+		t.Fatal("Since went backwards")
+	}
+	if err := c.SleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("SleepCtx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.SleepCtx(ctx, time.Hour); err != context.Canceled {
+		t.Fatalf("cancelled SleepCtx: %v", err)
+	}
+	var fired atomic.Bool
+	tm := c.AfterFunc(time.Millisecond, func() { fired.Store(true) })
+	defer tm.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for !fired.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !fired.Load() {
+		t.Fatal("AfterFunc never fired")
+	}
+}
+
+// TestSimDeterministicReplay runs the same mixed workload twice and
+// requires identical event traces — the property the chaos and sim
+// harnesses build their determinism contract on.
+func TestSimDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		clk := NewSimClock()
+		var trace []time.Duration
+		clk.Run(func() {
+			wg := NewWaitGroup(clk)
+			ch := make(chan time.Duration, 16)
+			for i := 0; i < 5; i++ {
+				i := i
+				wg.Add(1)
+				clk.Go(func() {
+					defer wg.Done()
+					clk.Sleep(time.Duration(7*i%5+1) * time.Millisecond)
+					clk.NoteSend()
+					ch <- clk.Elapsed()
+				})
+			}
+			for n := 0; n < 5; n++ {
+				unpark := clk.Park()
+				d := <-ch
+				unpark()
+				clk.NoteRecv()
+				trace = append(trace, d)
+			}
+			wg.Wait()
+		})
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}

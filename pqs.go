@@ -294,8 +294,23 @@ type ClientConfig struct {
 	Spares int
 	// HedgeDelay, when positive, promotes one spare each time this delay
 	// elapses before the operation completes. Zero promotes spares only on
-	// observed member failure.
+	// observed member failure. With AdaptiveHedge set this is only the
+	// bootstrap delay used until the latency estimator warms up.
 	HedgeDelay time.Duration
+	// AdaptiveHedge derives the hedge delay from an online estimate of the
+	// cluster's reply-latency distribution instead of the fixed
+	// HedgeDelay: the client tracks a latency EWMA and deviation EWMA
+	// (Jacobson/Karels gains, as in TCP retransmission timers) and hedges
+	// at EWMA + HedgeDeviations·deviation, so the delay follows the
+	// cluster as it speeds up or degrades. The delay is computed from
+	// pooled history only — never from the identity of the servers in the
+	// current access set — preserving the ε argument for hedged promotion.
+	// Requires Spares > 0 and a positive HedgeDelay bootstrap.
+	AdaptiveHedge bool
+	// HedgeDeviations is the adaptive-hedge quantile knob (deviations
+	// above the latency EWMA at which the hedge fires); zero means the
+	// default of 4.
+	HedgeDeviations float64
 	// EagerRead returns reads at the mode's decidable completion threshold
 	// instead of waiting for every straggler; remaining replies are drained
 	// in the background (read repair included).
@@ -372,6 +387,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		ReadRepair:       cfg.ReadRepair,
 		Spares:           cfg.Spares,
 		HedgeDelay:       cfg.HedgeDelay,
+		AdaptiveHedge:    cfg.AdaptiveHedge,
+		HedgeDeviations:  cfg.HedgeDeviations,
 		EagerRead:        cfg.EagerRead,
 		W:                cfg.W,
 	}
