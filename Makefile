@@ -1,5 +1,8 @@
 # Tier-1 verification and developer shortcuts. CI (.github/workflows/ci.yml)
-# runs `make ci` on every push.
+# runs these same targets on every push: `make ci` is the tier1 job, and the
+# chaos-short / chaos-tcp / sim-fast / fuzz-smoke / bench-regress targets
+# back the remaining jobs one-for-one, so a green `make ci-full` locally
+# means a green wall.
 
 GO ?= go
 
@@ -7,7 +10,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet race tier1 ci bench bench-tail bench-json bench-smoke chaos-short fuzz-smoke sim-fast
+.PHONY: all build test vet race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast
 
 all: ci
 
@@ -27,7 +30,11 @@ race:
 # checkout.
 tier1: build test
 
-ci: vet tier1 race
+# ci mirrors the CI tier1 job exactly (vet, build, test, race, bench-smoke).
+ci: vet tier1 race bench-smoke
+
+# ci-full runs every CI job locally.
+ci-full: ci chaos-short chaos-tcp sim-fast fuzz-smoke bench-regress
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -49,10 +56,32 @@ bench-json:
 	@echo "wrote BENCH_throughput.json"
 
 # CI bit-rot guard: run every throughput/codec benchmark for one iteration
-# and verify BENCH_throughput.json is regenerable and well-formed.
+# and verify the JSON pipeline still produces a well-formed document.
+# Staged through a scratch file so the committed BENCH_throughput.json —
+# the bench-regress baseline — is never clobbered with 1-iteration rates.
 bench-smoke:
-	$(MAKE) bench-json BENCHTIME=1x
-	$(GO) run ./cmd/benchjson -check BENCH_throughput.json
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime 1x . > BENCH_smoke.out
+	$(GO) run ./cmd/benchjson < BENCH_smoke.out > BENCH_smoke.json
+	@rm -f BENCH_smoke.out
+	$(GO) run ./cmd/benchjson -check BENCH_smoke.json
+	@rm -f BENCH_smoke.json
+
+# The throughput regression gate: measure fresh numbers (full 1s rounds, so
+# the rates are real) and compare them against the committed
+# BENCH_throughput.json, failing on any benchmark whose ops/sec dropped by
+# more than BENCH_TOLERANCE. The tolerance is 30%: wide enough to absorb
+# run-to-run and runner-hardware noise (the committed baseline was measured
+# on a developer machine; CI runners differ), narrow enough that a real
+# data-plane regression — a lost fast path, an accidental extra syscall per
+# frame — trips it. Refresh the baseline with `make bench-json` when a PR
+# legitimately moves the numbers.
+BENCH_TOLERANCE ?= 0.30
+bench-regress:
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime $(BENCHTIME) . > BENCH_fresh.out
+	$(GO) run ./cmd/benchjson < BENCH_fresh.out > BENCH_fresh.json
+	@rm -f BENCH_fresh.out
+	$(GO) run ./cmd/benchjson -compare BENCH_throughput.json BENCH_fresh.json -tolerance $(BENCH_TOLERANCE)
+	@rm -f BENCH_fresh.json
 
 # The adversarial regression gate: the full chaos scenario matrix at small
 # trial counts (seconds, deterministic in CHAOS_SEED), plus the negative
@@ -65,17 +94,29 @@ CHAOS_SEED ?= 1
 chaos-short:
 	$(GO) run ./cmd/pqs-chaos -scale 1 -seed $(CHAOS_SEED) -negative -json -o /dev/null
 
-# The virtual-time gate: the long-form ε measurement (400 trials over a
-# 100-server cluster with 20-60ms injected latency, stragglers and
-# adaptive hedging — minutes of simulated time that used to be far too
-# slow for CI) runs under vtime.SimClock and must finish >= 50x faster
-# than the simulated duration, proving the speedup is real and gating
-# regressions that reintroduce wall-clock waits into the simulated path.
-sim-fast:
-	$(GO) test -run 'TestSimFastLongFormEpsilon|TestAdaptiveHedgeEpsilonPreserved' -v ./internal/sim
+# The real-wire chaos gate: the same scenario matrix over BOTH data planes
+# (MemNetwork and the virtual-time TCP stack), each scenario run TWICE per
+# plane with one seed — the run fails unless the histories replay
+# byte-for-byte, which is the determinism contract for the data plane
+# production actually runs. BENCH_epsilon.json gains one section per
+# transport. Replay a CI failure locally with the same command and
+# CHAOS_SEED=N, or `go test ./internal/chaos -run TCPVirtual -chaos.seed=N`.
+chaos-tcp:
+	$(GO) run ./cmd/pqs-chaos -scale 1 -seed $(CHAOS_SEED) -transport mem,tcp-virtual -verify-determinism -json -o /dev/null
 
-# Ten seconds of coverage-guided fuzzing on the binary codec's decode
-# surface, so the FuzzDecodeMessage target actually executes in CI rather
-# than only replaying its seed corpus.
+# The virtual-time gate: the long-form ε measurements (hundreds of trials
+# over a 100-server cluster with tens of milliseconds of injected latency,
+# stragglers and adaptive hedging — minutes of simulated time that used to
+# be far too slow for CI) run under vtime.SimClock and must finish >= 50x
+# (MemNetwork) / >= 20x (virtual TCP data plane) faster than the simulated
+# duration, proving the speedup is real and gating regressions that
+# reintroduce wall-clock waits into the simulated path.
+sim-fast:
+	$(GO) test -run 'TestSimFastLongFormEpsilon|TestSimFastLongFormEpsilonTCP|TestAdaptiveHedgeEpsilonPreserved' -v ./internal/sim
+
+# Ten seconds of coverage-guided fuzzing each for the binary codec's decode
+# surface and the virtual byte-stream fault injector, so both fuzz targets
+# actually execute in CI rather than only replaying their seed corpora.
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/wire
+	$(GO) test -run XXX -fuzz FuzzVNetFaultInjector -fuzztime 10s ./internal/transport

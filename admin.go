@@ -7,13 +7,12 @@ import (
 
 	"pqs/internal/replica"
 	"pqs/internal/transport"
-	"pqs/internal/wire"
 )
 
 // ServerStats is the observability snapshot a replica server exposes over
 // its admin endpoint (pqsd -admin): store shape and shard counters, the TCP
 // endpoint's frame/flush counters (including how many writes the flush
-// coalescing batched), and the process-wide binary codec counters.
+// coalescing batched), and the per-connection binary codec counters.
 type ServerStats struct {
 	// ID is the replica's server id; Addr its bound data-plane address.
 	ID   int    `json:"id"`
@@ -26,22 +25,29 @@ type ServerStats struct {
 	// counters.
 	Store replica.StoreStats `json:"store"`
 	// Transport reports the server's TCP counters: connections, frames,
-	// bytes, flushes and coalesced writes.
+	// bytes, flushes, coalesced writes, and the aggregated message-codec
+	// counters (Transport.Codec).
 	Transport transport.TCPStats `json:"transport"`
-	// WireCodec reports the process-wide binary codec counters.
-	WireCodec wire.CodecStats `json:"wire_codec"`
+	// WireCodec reports this server's aggregated message-codec counters —
+	// per-connection counters folded together, replacing the process-wide
+	// counters the wire package used to keep.
+	WireCodec transport.ConnCodecStats `json:"wire_codec"`
+	// PerConnCodec breaks WireCodec down by live connection.
+	PerConnCodec []transport.ConnCodecStats `json:"per_conn_codec,omitempty"`
 }
 
 // Stats returns a snapshot of the server's observability counters.
 func (s *Server) Stats() ServerStats {
+	tstats := s.srv.Stats()
 	return ServerStats{
 		ID:            int(s.rep.ID()),
 		Addr:          s.srv.Addr(),
 		Codec:         s.srv.Codec().String(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Store:         s.rep.Store().Stats(),
-		Transport:     s.srv.Stats(),
-		WireCodec:     wire.Stats(),
+		Transport:     tstats,
+		WireCodec:     tstats.Codec,
+		PerConnCodec:  s.srv.ConnStats(),
 	}
 }
 

@@ -7,9 +7,16 @@
 //
 //	go test -run XXX -bench . -benchmem . | benchjson > BENCH_throughput.json
 //	benchjson -check BENCH_throughput.json   # validate a recorded file
+//	benchjson -compare BENCH_throughput.json fresh.json -tolerance 0.30
+//	                                         # fail on a >30% ops/sec drop
 //
 // The -check mode is the CI bit-rot guard: it fails unless the file parses
-// and contains at least one throughput and one codec benchmark.
+// and contains at least one throughput and one codec benchmark. The
+// -compare mode is the throughput regression gate: for every benchmark
+// present in both files it compares ops/sec (falling back to inverted
+// ns/op) and fails when the fresh number drops more than the tolerance
+// below the committed baseline. Improvements and new benchmarks never
+// fail; a benchmark that disappeared does.
 package main
 
 import (
@@ -44,6 +51,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("benchjson: ok")
+		return
+	}
+	if len(os.Args) >= 4 && os.Args[1] == "-compare" {
+		tolerance := 0.30
+		if len(os.Args) == 6 && os.Args[4] == "-tolerance" {
+			v, err := strconv.ParseFloat(os.Args[5], 64)
+			if err != nil || v <= 0 || v >= 1 {
+				fmt.Fprintln(os.Stderr, "benchjson: -tolerance wants a fraction in (0,1)")
+				os.Exit(1)
+			}
+			tolerance = v
+		}
+		if err := compare(os.Args[2], os.Args[3], tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: no throughput regression")
 		return
 	}
 	report, err := parse(os.Stdin)
@@ -147,6 +171,78 @@ func check(path string) error {
 	if !haveThroughput || !haveCodec {
 		return fmt.Errorf("%s: missing throughput or codec benchmarks (throughput=%v codec=%v)",
 			path, haveThroughput, haveCodec)
+	}
+	return nil
+}
+
+// load reads a recorded report.
+func load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report Report
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &report, nil
+}
+
+// rate extracts a benchmark's throughput: ops/sec if recorded, else the
+// inverse of ns/op. Zero means no usable rate metric.
+func rate(r Result) float64 {
+	if v := r.Metrics["ops/sec"]; v > 0 {
+		return v
+	}
+	if v := r.Metrics["ns/op"]; v > 0 {
+		return 1e9 / v
+	}
+	return 0
+}
+
+// compare is the regression gate: every baseline benchmark must still
+// exist in the fresh report and run no more than tolerance slower.
+func compare(basePath, freshPath string, tolerance float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := load(freshPath)
+	if err != nil {
+		return err
+	}
+	freshBy := make(map[string]Result, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	var failures []string
+	for _, b := range base.Benchmarks {
+		baseRate := rate(b)
+		if baseRate == 0 {
+			continue // no rate metric recorded; nothing to gate
+		}
+		f, ok := freshBy[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in %s but missing from %s", b.Name, basePath, freshPath))
+			continue
+		}
+		freshRate := rate(f)
+		if freshRate == 0 {
+			failures = append(failures, fmt.Sprintf("%s: fresh run recorded no rate metric", b.Name))
+			continue
+		}
+		drop := 1 - freshRate/baseRate
+		status := "ok"
+		if drop > tolerance {
+			status = "REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ops/sec (%.1f%% drop > %.0f%% tolerance)",
+				b.Name, baseRate, freshRate, drop*100, tolerance*100))
+		}
+		fmt.Fprintf(os.Stderr, "%-50s %12.0f -> %12.0f ops/sec  %+6.1f%%  %s\n",
+			b.Name, baseRate, freshRate, -drop*100, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput regressions:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -1,8 +1,9 @@
 // Command pqs-chaos runs the chaos scenario matrix from the command line
-// and emits a JSON report: one entry per scenario with the empirical ε, the
-// theorem bound, the checker's p-value and the PBS-style staleness-depth
-// distribution. The process exits non-zero if any shipped scenario fails
-// its bound, which is what makes it a CI gate (make chaos-short).
+// and emits a JSON report: one entry per scenario (and per transport) with
+// the empirical ε, the theorem bound, the checker's p-value and the
+// PBS-style staleness-depth distribution. The process exits non-zero if any
+// shipped scenario fails its bound, which is what makes it a CI gate
+// (make chaos-short, make chaos-tcp).
 //
 // Usage:
 //
@@ -10,10 +11,21 @@
 //	pqs-chaos -scale 5 -seed 7     # longer runs from another seed
 //	pqs-chaos -scenario 'masking/' # subset by substring
 //	pqs-chaos -list                # print scenario names and docs
+//	pqs-chaos -transport tcp-virtual
+//	                               # run the matrix over the REAL TCP stack
+//	                               # (binary codec, group-commit flusher,
+//	                               # worker pool) on virtual-time byte
+//	                               # streams; comma-separate to run several
+//	                               # planes in one invocation, e.g.
+//	                               # -transport mem,tcp-virtual
+//	pqs-chaos -verify-determinism  # run every scenario TWICE per transport
+//	                               # and fail unless the histories replay
+//	                               # byte-for-byte (the CI determinism gate)
 //	pqs-chaos -json                # also write per-scenario ε metrics to
 //	                               # BENCH_epsilon.json (the CI artifact
 //	                               # tracking the ε trend across PRs, like
-//	                               # BENCH_throughput.json for throughput)
+//	                               # BENCH_throughput.json), with one section
+//	                               # per transport
 //	pqs-chaos -negative            # also run the intentionally failing
 //	                               # negative scenario (its failure is
 //	                               # expected and does not affect the exit
@@ -34,6 +46,7 @@ import (
 	"time"
 
 	"pqs/internal/chaos"
+	"pqs/internal/sim"
 )
 
 // scenarioReport is one matrix entry of the JSON report.
@@ -45,19 +58,25 @@ type scenarioReport struct {
 	// WallSeconds is how long the scenario took to execute. For virtual
 	// scenarios the interesting ratio is Report.SimSeconds/WallSeconds.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Deterministic is set when -verify-determinism re-ran the scenario:
+	// true means the second run's history replayed byte-for-byte.
+	Deterministic *bool `json:"deterministic,omitempty"`
 }
 
 // epsilonDoc is the BENCH_epsilon.json layout, mirroring
 // BENCH_throughput.json: a context block plus named entries with a flat
 // metrics map, so the same tooling can diff either file across PRs.
+// Entries carry their transport, giving the document one section per data
+// plane when several run in one invocation.
 type epsilonDoc struct {
 	Context   map[string]any `json:"context"`
 	Scenarios []epsilonEntry `json:"scenarios"`
 }
 
 type epsilonEntry struct {
-	Name    string             `json:"name"`
-	Metrics map[string]float64 `json:"metrics"`
+	Name      string             `json:"name"`
+	Transport string             `json:"transport"`
+	Metrics   map[string]float64 `json:"metrics"`
 }
 
 // epsilonFile is where -json writes the ε trend document.
@@ -66,11 +85,12 @@ const epsilonFile = "BENCH_epsilon.json"
 // buildEpsilonDoc flattens the matrix into the trend document.
 func buildEpsilonDoc(rep matrixReport) epsilonDoc {
 	doc := epsilonDoc{Context: map[string]any{
-		"goos":   runtime.GOOS,
-		"goarch": runtime.GOARCH,
-		"pkg":    "pqs",
-		"seed":   rep.Seed,
-		"scale":  rep.Scale,
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"pkg":        "pqs",
+		"seed":       rep.Seed,
+		"scale":      rep.Scale,
+		"transports": rep.Transports,
 	}}
 	for _, sc := range rep.Scenarios {
 		if sc.Expected == "fail" {
@@ -100,7 +120,10 @@ func buildEpsilonDoc(rep matrixReport) epsilonDoc {
 			m["gossip_rounds"] = float64(sc.GossipRounds)
 			m["gossip_merged"] = float64(sc.GossipMerged)
 		}
-		doc.Scenarios = append(doc.Scenarios, epsilonEntry{Name: sc.Name, Metrics: m})
+		if sc.Deterministic != nil {
+			m["deterministic"] = boolMetric(*sc.Deterministic)
+		}
+		doc.Scenarios = append(doc.Scenarios, epsilonEntry{Name: sc.Name, Transport: sc.Transport, Metrics: m})
 	}
 	return doc
 }
@@ -114,21 +137,26 @@ func boolMetric(b bool) float64 {
 
 // matrixReport is the top-level JSON document.
 type matrixReport struct {
-	Seed      int64            `json:"seed"`
-	Scale     int              `json:"scale"`
-	Scenarios []scenarioReport `json:"scenarios"`
-	AllPass   bool             `json:"all_pass"`
+	Seed       int64            `json:"seed"`
+	Scale      int              `json:"scale"`
+	Transports []string         `json:"transports"`
+	Scenarios  []scenarioReport `json:"scenarios"`
+	AllPass    bool             `json:"all_pass"`
 }
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "run seed (fixes every random choice)")
-		scale    = flag.Int("scale", 1, "trial-count multiplier (1 is the CI short run)")
-		match    = flag.String("scenario", "", "run only scenarios whose name contains this substring")
-		list     = flag.Bool("list", false, "list scenario names and exit")
-		negative = flag.Bool("negative", false, "also run the intentionally failing negative scenario")
-		out      = flag.String("o", "", "write the JSON report to this file instead of stdout")
-		epsJSON  = flag.Bool("json", false, "also write per-scenario ε metrics to "+epsilonFile)
+		seed      = flag.Int64("seed", 1, "run seed (fixes every random choice)")
+		scale     = flag.Int("scale", 1, "trial-count multiplier (1 is the CI short run)")
+		match     = flag.String("scenario", "", "run only scenarios whose name contains this substring")
+		list      = flag.Bool("list", false, "list scenario names and exit")
+		negative  = flag.Bool("negative", false, "also run the intentionally failing negative scenario")
+		out       = flag.String("o", "", "write the JSON report to this file instead of stdout")
+		epsJSON   = flag.Bool("json", false, "also write per-scenario ε metrics to "+epsilonFile)
+		transport = flag.String("transport", sim.TransportMem,
+			"comma-separated data planes to run the matrix over: mem, tcp-virtual")
+		verifyDet = flag.Bool("verify-determinism", false,
+			"run each scenario twice and fail unless the histories replay byte-for-byte")
 	)
 	flag.Parse()
 
@@ -139,60 +167,101 @@ func main() {
 		return
 	}
 
-	report := matrixReport{Seed: *seed, Scale: *scale, AllPass: true}
-	ran := 0
-	for _, sc := range chaos.Scenarios() {
-		if *match != "" && !strings.Contains(sc.Name, *match) {
+	var transports []string
+	for _, tr := range strings.Split(*transport, ",") {
+		tr = strings.TrimSpace(tr)
+		if tr == "" {
 			continue
 		}
-		ran++
-		cfg, err := sc.Build(*scale, *seed)
-		if err != nil {
-			fatalf("build %s: %v", sc.Name, err)
+		if tr != sim.TransportMem && tr != sim.TransportTCPVirtual {
+			fatalf("unknown transport %q (want %s or %s)", tr, sim.TransportMem, sim.TransportTCPVirtual)
 		}
-		start := time.Now()
-		rep, err := chaos.Run(cfg)
-		wall := time.Since(start).Seconds()
-		if err != nil {
-			fatalf("run %s: %v", sc.Name, err)
+		transports = append(transports, tr)
+	}
+	if len(transports) == 0 {
+		fatalf("no transport selected")
+	}
+
+	report := matrixReport{Seed: *seed, Scale: *scale, Transports: transports, AllPass: true}
+	ran := 0
+	for _, tr := range transports {
+		for _, sc := range chaos.Scenarios() {
+			if *match != "" && !strings.Contains(sc.Name, *match) {
+				continue
+			}
+			ran++
+			cfg, err := sc.Build(*scale, *seed)
+			if err != nil {
+				fatalf("build %s: %v", sc.Name, err)
+			}
+			cfg.Transport = tr
+			start := time.Now()
+			rep, err := chaos.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				fatalf("run %s [%s]: %v", sc.Name, tr, err)
+			}
+			entry := scenarioReport{Report: *rep, Expected: "pass", WallSeconds: wall}
+			status := "PASS"
+			if !rep.Check.Pass {
+				status = "FAIL"
+				report.AllPass = false
+			}
+			if *verifyDet {
+				cfg2, err := sc.Build(*scale, *seed)
+				if err != nil {
+					fatalf("rebuild %s: %v", sc.Name, err)
+				}
+				cfg2.Transport = tr
+				rep2, err := chaos.Run(cfg2)
+				if err != nil {
+					fatalf("replay %s [%s]: %v", sc.Name, tr, err)
+				}
+				det := rep.History.Diff(rep2.History) == ""
+				entry.Deterministic = &det
+				if !det {
+					status = "NONDETERMINISTIC"
+					report.AllPass = false
+					fmt.Fprintf(os.Stderr, "determinism violation in %s [%s]:\n%s\n",
+						sc.Name, tr, rep.History.Diff(rep2.History))
+				}
+			}
+			report.Scenarios = append(report.Scenarios, entry)
+			virtual := ""
+			if rep.Virtual {
+				virtual = fmt.Sprintf("  [virtual: %.1fs simulated in %.2fs]", rep.SimSeconds, wall)
+			}
+			fmt.Fprintf(os.Stderr, "%-28s %-11s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g%s\n",
+				sc.Name, tr, status, rep.Check.EligibleEpsilon, rep.Check.EligibleBad,
+				rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue, virtual)
 		}
-		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "pass", WallSeconds: wall})
-		status := "PASS"
-		if !rep.Check.Pass {
-			status = "FAIL"
-			report.AllPass = false
-		}
-		virtual := ""
-		if rep.Virtual {
-			virtual = fmt.Sprintf("  [virtual: %.1fs simulated in %.2fs]", rep.SimSeconds, wall)
-		}
-		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g%s\n",
-			sc.Name, status, rep.Check.EligibleEpsilon, rep.Check.EligibleBad,
-			rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue, virtual)
 	}
 	if ran == 0 {
 		fatalf("no scenario matches %q", *match)
 	}
 
 	if *negative {
-		cfg, err := chaos.NegativeConfig(*scale, *seed)
-		if err != nil {
-			fatalf("build negative: %v", err)
-		}
-		start := time.Now()
-		rep, err := chaos.Run(cfg)
-		wall := time.Since(start).Seconds()
-		if err != nil {
-			fatalf("run negative: %v", err)
-		}
-		report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "fail", WallSeconds: wall})
-		fmt.Fprintf(os.Stderr, "%-28s %s  ε=%.5f vs configured bound %.3g (failure expected)\n",
-			rep.Name, map[bool]string{true: "PASS(?)", false: "FAIL(expected)"}[rep.Check.Pass],
-			rep.Check.EligibleEpsilon, rep.Check.Bound)
-		if rep.Check.Pass {
-			// The demo exists to show the checker has teeth; it passing is a
-			// harness regression.
-			report.AllPass = false
+		for _, tr := range transports {
+			cfg, err := chaos.NegativeConfig(*scale, *seed)
+			if err != nil {
+				fatalf("build negative: %v", err)
+			}
+			cfg.Transport = tr
+			start := time.Now()
+			rep, err := chaos.Run(cfg)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				fatalf("run negative [%s]: %v", tr, err)
+			}
+			report.Scenarios = append(report.Scenarios, scenarioReport{Report: *rep, Expected: "fail", WallSeconds: wall})
+			fmt.Fprintf(os.Stderr, "%-28s %-11s %s  ε=%.5f vs configured bound %.3g (failure expected)\n",
+				rep.Name, tr, map[bool]string{true: "PASS(?)", false: "FAIL(expected)"}[rep.Check.Pass],
+				rep.Check.EligibleEpsilon, rep.Check.Bound)
+			if rep.Check.Pass {
+				// The demo exists to show the checker has teeth; it passing is
+				// a harness regression.
+				report.AllPass = false
+			}
 		}
 	}
 

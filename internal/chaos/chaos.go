@@ -42,6 +42,11 @@ import (
 // inbound link of to, Block(from, Any) every outbound link of from.
 const Any quorum.ServerID = -2
 
+// The two fault planes must agree on the wildcard value, since block
+// actions pass it through to either verbatim; the index is out of range
+// at compile time for ANY nonzero difference.
+var _ = [1]struct{}{}[Any-transport.Anyone]
+
 // linkKey identifies one directed link. Clients appear as
 // transport.ClientSource.
 type linkKey struct{ from, to quorum.ServerID }

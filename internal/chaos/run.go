@@ -14,6 +14,7 @@ import (
 	"pqs/internal/replica"
 	"pqs/internal/sim"
 	"pqs/internal/sv"
+	"pqs/internal/transport"
 	"pqs/internal/ts"
 	"pqs/internal/vtime"
 )
@@ -49,6 +50,16 @@ type Config struct {
 	// — instantly, and deterministically enough to join the byte-for-byte
 	// replay contract that previously had to exclude hedged runs.
 	Virtual bool
+	// Transport selects the data plane: sim.TransportMem (default) drives
+	// client traffic through the MemNetwork with the chaos engine as its
+	// link hook; sim.TransportTCPVirtual drives it through the REAL TCP
+	// stack — framing, binary codec, group-commit flusher, worker pool —
+	// over virtual-time byte streams, with the schedule's faults
+	// reimplemented at the byte-stream layer (drops reset connections,
+	// corruption flips bits in framed chunks, blocks refuse dials and
+	// reset streams; duplication is a deliberate no-op — TCP sequence
+	// numbers preclude it). Implies Virtual.
+	Transport string
 	// LatencyMin and LatencyMax, when LatencyMax > 0, give every call a
 	// uniform simulated latency drawn deterministically from the seed.
 	// Meaningful mainly with Virtual (wall runs would really sleep).
@@ -79,7 +90,9 @@ type Report struct {
 	Mode     string      `json:"mode"`
 	Ops      int         `json:"ops"`
 	Schedule string      `json:"schedule,omitempty"`
-	Check    CheckResult `json:"check"`
+	// Transport is the data plane the run used ("mem" or "tcp-virtual").
+	Transport string      `json:"transport"`
+	Check     CheckResult `json:"check"`
 	// Virtual and SimSeconds report virtual-time runs: the simulated
 	// duration the scenario covered (wall time spent is the caller's to
 	// measure — the run itself never reads the wall clock).
@@ -102,6 +115,12 @@ type Report struct {
 // harness failures, never on consistency violations. With cfg.Virtual the
 // whole scenario executes inside a vtime.SimClock scheduler.
 func Run(cfg Config) (*Report, error) {
+	if cfg.Transport == sim.TransportTCPVirtual {
+		// The byte-stream data plane schedules every chunk on the clock;
+		// running it against the wall clock would really wait out the
+		// latency, so tcp-virtual implies a virtual run.
+		cfg.Virtual = true
+	}
 	if !cfg.Virtual {
 		return run(cfg, nil)
 	}
@@ -139,17 +158,43 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		netClk = clk
 	}
 	cluster := sim.NewClusterClock(cfg.System.N(), cfg.Seed, netClk)
-	eng := NewEngine(cfg.Seed + 0x9E3779B9)
-	cluster.Net.SetLinkHook(eng)
-	if cfg.LatencyMax > 0 {
-		cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+	var (
+		eng           *Engine
+		tc            *sim.TCPCluster
+		callTransport transport.Transport
+	)
+	switch cfg.Transport {
+	case "", sim.TransportMem:
+		// The chaos engine is the MemNetwork's link hook: message-level
+		// fault injection.
+		eng = NewEngine(cfg.Seed + 0x9E3779B9)
+		cluster.Net.SetLinkHook(eng)
+		if cfg.LatencyMax > 0 {
+			cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		}
+		callTransport = cluster.Net
+	case sim.TransportTCPVirtual:
+		// The fault plane is the byte-stream network itself: the schedule's
+		// actions reconfigure it, and every framed chunk consults it.
+		var err error
+		tc, err = sim.NewTCPCluster(cluster, clk, cfg.Seed+0x9E3779B9, 0)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: tcp cluster: %w", err)
+		}
+		defer tc.Close()
+		if cfg.LatencyMax > 0 {
+			tc.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		}
+		callTransport = tc.Client
+	default:
+		return nil, fmt.Errorf("chaos: unknown Transport %q", cfg.Transport)
 	}
 
 	opts := register.Options{
 		System:        cfg.System,
 		Mode:          cfg.Mode,
 		K:             cfg.K,
-		Transport:     cluster.Net,
+		Transport:     callTransport,
 		Rand:          rand.New(rand.NewSource(cfg.Seed + 1)),
 		Clock:         ts.NewClock(1),
 		Spares:        cfg.Spares,
@@ -178,6 +223,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	rt := &runtime{
 		cluster: cluster,
 		eng:     eng,
+		tcp:     tc,
 		byID:    make(map[quorum.ServerID]*replica.Replica),
 		clock:   vtime.Or(netClk),
 	}
@@ -189,7 +235,14 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		if fanout <= 0 {
 			fanout = 1
 		}
-		group, err := diffusion.NewGroup(cluster.Replicas, cluster.Net, fanout, nil, cfg.Seed+2)
+		gossipTr := transport.Transport(cluster.Net)
+		if tc != nil {
+			// Gossip rides the TCP data plane too, through per-source
+			// clients so the byte-level fault plane sees true
+			// server-to-server links.
+			gossipTr = tc.GossipTransport()
+		}
+		group, err := diffusion.NewGroup(cluster.Replicas, gossipTr, fanout, nil, cfg.Seed+2)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: diffusion group: %w", err)
 		}
@@ -251,15 +304,20 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	}
 	client.WaitDrained()
 
+	transportName := cfg.Transport
+	if transportName == "" {
+		transportName = sim.TransportMem
+	}
 	rep := &Report{
-		Name:     cfg.Name,
-		Seed:     cfg.Seed,
-		System:   cfg.System.Name(),
-		Mode:     cfg.Mode.String(),
-		Ops:      cfg.Ops,
-		Schedule: cfg.Schedule.String(),
-		History:  hist,
-		Check:    Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha}),
+		Name:      cfg.Name,
+		Seed:      cfg.Seed,
+		System:    cfg.System.Name(),
+		Mode:      cfg.Mode.String(),
+		Ops:       cfg.Ops,
+		Schedule:  cfg.Schedule.String(),
+		Transport: transportName,
+		History:   hist,
+		Check:     Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha}),
 	}
 	if rt.gossip != nil {
 		rep.GossipRounds = gossipRounds

@@ -54,10 +54,15 @@ func (s Schedule) String() string {
 	return b.String()
 }
 
-// runtime is the mutable state actions operate on.
+// runtime is the mutable state actions operate on. Exactly one fault plane
+// is live: eng (message-level, on the MemNetwork) for mem runs, tcp (byte-
+// stream-level, on the VirtualNet) for tcp-virtual runs. Actions go through
+// the dispatch methods below so every scenario drives either plane
+// unchanged.
 type runtime struct {
 	cluster *sim.Cluster
-	eng     *Engine
+	eng     *Engine         // mem runs; nil under tcp-virtual
+	tcp     *sim.TCPCluster // tcp-virtual runs; nil under mem
 	byID    map[quorum.ServerID]*replica.Replica
 	// clock is the run's time source (the SimClock under Config.Virtual);
 	// behaviors with delays are built against it.
@@ -66,6 +71,107 @@ type runtime struct {
 	// Config.GossipEvery is set; Leave and Join keep its membership
 	// current.
 	gossip *diffusion.Group
+}
+
+// crash marks a server crashed on the live plane. On the byte-stream plane
+// this also resets every connection touching the server (a crashed host's
+// sockets die; clients re-dial after recovery).
+func (rt *runtime) crash(id quorum.ServerID) {
+	if rt.tcp != nil {
+		rt.tcp.Net.Crash(id)
+		return
+	}
+	rt.cluster.Net.Crash(id)
+}
+
+func (rt *runtime) recoverServer(id quorum.ServerID) {
+	if rt.tcp != nil {
+		rt.tcp.Net.Recover(id)
+		return
+	}
+	rt.cluster.Net.Recover(id)
+}
+
+// leave departs a server from the membership on the live plane.
+func (rt *runtime) leave(id quorum.ServerID) {
+	if rt.tcp != nil {
+		rt.tcp.Net.Deregister(id)
+		return
+	}
+	rt.cluster.Net.Deregister(id)
+}
+
+// installReplica wires a fresh replica behind id's endpoint on the live
+// plane (a membership rejoin).
+func (rt *runtime) installReplica(id quorum.ServerID, r *replica.Replica) {
+	if rt.tcp != nil {
+		if err := rt.tcp.SetHandler(id, r); err != nil {
+			panic(fmt.Sprintf("chaos: rejoin tcp %d: %v", id, err))
+		}
+		return
+	}
+	rt.cluster.Net.Register(id, r)
+}
+
+// block severs a directed link on the live plane (wildcards allowed; the
+// chaos Any and transport.Anyone wildcards share a value by construction).
+func (rt *runtime) block(from, to quorum.ServerID) {
+	if rt.tcp != nil {
+		rt.tcp.Net.Block(from, to)
+		return
+	}
+	rt.eng.Block(from, to)
+}
+
+func (rt *runtime) heal() {
+	if rt.tcp != nil {
+		rt.tcp.Net.Heal()
+		return
+	}
+	rt.eng.Heal()
+}
+
+// setDrop sets the loss probability: per call on the message plane, per
+// framed chunk on the byte-stream plane (where a loss resets the
+// connection — a stream cannot survive a gap).
+func (rt *runtime) setDrop(p float64) {
+	if rt.tcp != nil {
+		rt.tcp.Net.SetDrop(p)
+		return
+	}
+	rt.eng.SetDrop(p)
+}
+
+// setDuplicate sets the duplication probability. On the byte-stream plane
+// this is a deliberate no-op: TCP sequence numbers deduplicate segments,
+// so at-least-once delivery is a fault class the stream transport provably
+// rules out (the scenario still runs; the fault simply cannot manifest).
+func (rt *runtime) setDuplicate(p float64) {
+	if rt.tcp != nil {
+		return
+	}
+	rt.eng.SetDuplicate(p)
+}
+
+// setCorrupt sets the corruption probability: message re-encode + bit flip
+// on the message plane, a bit flip inside a framed chunk on the
+// byte-stream plane (which may break the length prefix, the body, or land
+// in a payload byte the end-to-end defenses must absorb).
+func (rt *runtime) setCorrupt(p float64) {
+	if rt.tcp != nil {
+		rt.tcp.Net.SetCorrupt(p)
+		return
+	}
+	rt.eng.SetCorrupt(p)
+}
+
+// setReorder sets the maximum extra delivery delay (jitter).
+func (rt *runtime) setReorder(d time.Duration) {
+	if rt.tcp != nil {
+		rt.tcp.Net.SetJitter(d)
+		return
+	}
+	rt.eng.SetReorder(d)
 }
 
 // actionFunc adapts a closure to Action.
@@ -77,11 +183,12 @@ type actionFunc struct {
 func (a actionFunc) apply(rt *runtime) { a.fn(rt) }
 func (a actionFunc) String() string    { return a.name }
 
-// Crash marks servers crashed (calls fail with ErrCrashed).
+// Crash marks servers crashed (calls fail with ErrCrashed; on the
+// byte-stream plane their connections are reset too).
 func Crash(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("crash%v", ids), func(rt *runtime) {
 		for _, id := range ids {
-			rt.cluster.Net.Crash(id)
+			rt.crash(id)
 		}
 	}}
 }
@@ -90,7 +197,7 @@ func Crash(ids ...quorum.ServerID) Action {
 func Recover(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("recover%v", ids), func(rt *runtime) {
 		for _, id := range ids {
-			rt.cluster.Net.Recover(id)
+			rt.recoverServer(id)
 		}
 	}}
 }
@@ -101,7 +208,7 @@ func Recover(ids ...quorum.ServerID) Action {
 func Leave(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("leave%v", ids), func(rt *runtime) {
 		for _, id := range ids {
-			rt.cluster.Net.Deregister(id)
+			rt.leave(id)
 			if rt.gossip != nil {
 				rt.gossip.Remove(id)
 			}
@@ -125,7 +232,7 @@ func Join(ids ...quorum.ServerID) Action {
 				rt.cluster.Replicas = append(rt.cluster.Replicas, r)
 			}
 			rt.byID[id] = r
-			rt.cluster.Net.Register(id, r)
+			rt.installReplica(id, r)
 			if rt.gossip != nil {
 				rt.gossip.Remove(id) // tolerate a Join without a prior Leave
 				if err := rt.gossip.Add(r); err != nil {
@@ -142,7 +249,7 @@ func Join(ids ...quorum.ServerID) Action {
 func BlockInbound(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("block-in%v", ids), func(rt *runtime) {
 		for _, id := range ids {
-			rt.eng.Block(Any, id)
+			rt.block(Any, id)
 		}
 	}}
 }
@@ -151,34 +258,37 @@ func BlockInbound(ids ...quorum.ServerID) Action {
 // Any).
 func BlockLink(from, to quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("block(%d->%d)", from, to), func(rt *runtime) {
-		rt.eng.Block(from, to)
+		rt.block(from, to)
 	}}
 }
 
 // Heal removes every block and zeroes every link-fault probability.
 func Heal() Action {
-	return actionFunc{"heal", func(rt *runtime) { rt.eng.Heal() }}
+	return actionFunc{"heal", func(rt *runtime) { rt.heal() }}
 }
 
-// Drop sets the deterministic per-call loss probability.
+// Drop sets the deterministic per-call (mem) or per-chunk (tcp-virtual)
+// loss probability.
 func Drop(p float64) Action {
-	return actionFunc{fmt.Sprintf("drop(%g)", p), func(rt *runtime) { rt.eng.SetDrop(p) }}
+	return actionFunc{fmt.Sprintf("drop(%g)", p), func(rt *runtime) { rt.setDrop(p) }}
 }
 
-// Duplicate sets the per-call duplication probability.
+// Duplicate sets the per-call duplication probability (no-op over a stream
+// transport; see runtime.setDuplicate).
 func Duplicate(p float64) Action {
-	return actionFunc{fmt.Sprintf("dup(%g)", p), func(rt *runtime) { rt.eng.SetDuplicate(p) }}
+	return actionFunc{fmt.Sprintf("dup(%g)", p), func(rt *runtime) { rt.setDuplicate(p) }}
 }
 
-// Corrupt sets the per-call frame-corruption probability.
+// Corrupt sets the per-call (mem) or per-chunk (tcp-virtual) corruption
+// probability.
 func Corrupt(p float64) Action {
-	return actionFunc{fmt.Sprintf("corrupt(%g)", p), func(rt *runtime) { rt.eng.SetCorrupt(p) }}
+	return actionFunc{fmt.Sprintf("corrupt(%g)", p), func(rt *runtime) { rt.setCorrupt(p) }}
 }
 
-// Reorder sets the maximum extra per-call delivery delay (message
-// reordering).
+// Reorder sets the maximum extra per-call (mem) or per-chunk (tcp-virtual)
+// delivery delay.
 func Reorder(max time.Duration) Action {
-	return actionFunc{fmt.Sprintf("reorder(%v)", max), func(rt *runtime) { rt.eng.SetReorder(max) }}
+	return actionFunc{fmt.Sprintf("reorder(%v)", max), func(rt *runtime) { rt.setReorder(max) }}
 }
 
 // Behave installs a behavior on the listed replicas (shared instance; use

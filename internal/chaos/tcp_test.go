@@ -1,0 +1,103 @@
+package chaos
+
+// Chaos over the REAL data plane: the same scenario matrix, replayed
+// through the TCP stack (framing, binary codec, group-commit flusher,
+// worker pool) over virtual-time byte streams. Two properties are gated:
+// every scenario still passes its theorem bound when the faults act on
+// framed bytes instead of messages, and every run replays byte-for-byte
+// from its seed — the CI chaos-tcp job runs exactly these.
+
+import (
+	"testing"
+
+	"pqs/internal/sim"
+)
+
+// tcpConfig rebuilds a scenario's config for the tcp-virtual data plane.
+func tcpConfig(t *testing.T, sc Scenario, scale int, seed int64) Config {
+	t.Helper()
+	cfg, err := sc.Build(scale, seed)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cfg.Transport = sim.TransportTCPVirtual
+	return cfg
+}
+
+// TestChaosScenariosTCPVirtual runs the full shipped matrix over the
+// virtual TCP data plane: every scenario must pass its theorem bound with
+// the fault schedule reimplemented at the byte-stream layer.
+func TestChaosScenariosTCPVirtual(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(tcpConfig(t, sc, *chaosScale, *chaosSeed))
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !rep.Virtual {
+				t.Fatalf("tcp-virtual run did not report Virtual")
+			}
+			if rep.Transport != sim.TransportTCPVirtual {
+				t.Fatalf("report transport %q", rep.Transport)
+			}
+			c := rep.Check
+			t.Logf("%s[tcp]: reads=%d correct=%d stale=%d fooled=%d eligible=%d/%d ε=%.5f bound=%.3g p=%.3g sim=%.2fs",
+				sc.Name, c.Reads, c.Correct, c.Stale, c.Fooled,
+				c.EligibleBad, c.EligibleReads, c.EligibleEpsilon, c.Bound, c.PValue, rep.SimSeconds)
+			for _, v := range c.Violations {
+				t.Errorf("violation: %s", v)
+			}
+			if !c.Pass {
+				t.Errorf("scenario %s failed its bound over tcp-virtual: eligible ε=%.5f over %d reads vs bound %.3g (p=%.3g); replay with -chaos.seed=%d",
+					sc.Name, c.EligibleEpsilon, c.EligibleReads, c.Bound, c.PValue, rep.Seed)
+			}
+		})
+	}
+}
+
+// TestChaosDeterminismTCPVirtual is the replay regression for the real
+// wire path: two runs of every scenario over tcp-virtual from one seed
+// must produce byte-identical histories — chunk latency draws, connection
+// resets, hedge timers and all.
+func TestChaosDeterminismTCPVirtual(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Run(tcpConfig(t, sc, 1, *chaosSeed))
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := Run(tcpConfig(t, sc, 1, *chaosSeed))
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if d := a.History.Diff(b.History); d != "" {
+				t.Fatalf("seed %d did not replay over tcp-virtual:\n%s", *chaosSeed, d)
+			}
+			if a.Check.Pass != b.Check.Pass || a.Check.Epsilon != b.Check.Epsilon {
+				t.Fatalf("check verdicts diverge for identical histories")
+			}
+		})
+	}
+}
+
+// TestNegativeScenarioFailsTCPVirtual proves the checker keeps its teeth
+// over the real wire path too.
+func TestNegativeScenarioFailsTCPVirtual(t *testing.T) {
+	cfg, err := NegativeConfig(1, *chaosSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = sim.TransportTCPVirtual
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Check.Pass {
+		t.Fatalf("negative scenario passed over tcp-virtual (ε=%.5f vs bound %.3g); the checker lost its teeth",
+			rep.Check.EligibleEpsilon, rep.Check.Bound)
+	}
+}

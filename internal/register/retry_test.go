@@ -6,9 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/replica"
+	"pqs/internal/transport"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 )
 
 func TestRetryingClientValidation(t *testing.T) {
@@ -161,5 +165,53 @@ func TestUpdateTwoWritersConverge(t *testing.T) {
 	}
 	if string(rr.Value) != "abababababab" {
 		t.Errorf("log = %s", rr.Value)
+	}
+}
+
+// TestRetryingBackoffOnClock checks the clock-aware inter-attempt backoff:
+// under a SimClock, a retry sequence against crashed servers consumes
+// exactly (Attempts-1)·Backoff of virtual time — deterministic, and free
+// in wall time — while a zero Backoff consumes none.
+func TestRetryingBackoffOnClock(t *testing.T) {
+	run := func(backoff time.Duration) time.Duration {
+		sc := vtime.NewSimClock()
+		var elapsed time.Duration
+		sc.Run(func() {
+			net := transport.NewMemNetwork(7)
+			net.SetClock(sc)
+			sys := majoritySystem(t, 3)
+			for i := 0; i < 3; i++ {
+				net.Register(quorum.ServerID(i), replica.New(quorum.ServerID(i)))
+				net.Crash(quorum.ServerID(i))
+			}
+			base, err := NewClient(Options{
+				System: sys, Mode: Benign, Transport: net,
+				Rand:  rand.New(rand.NewSource(1)),
+				Clock: ts.NewClock(1),
+				Time:  sc,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rc, err := NewRetryingClient(base, 4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rc.Backoff = backoff
+			if _, err := rc.Read(context.Background(), "k"); !errors.Is(err, ErrNoReplies) {
+				t.Errorf("read against crashed cluster: %v, want ErrNoReplies", err)
+			}
+			elapsed = sc.Elapsed()
+		})
+		return elapsed
+	}
+	if got := run(0); got != 0 {
+		t.Errorf("zero backoff consumed %v virtual time", got)
+	}
+	// 4 attempts, 3 sleeps between them.
+	if got, want := run(50*time.Millisecond), 150*time.Millisecond; got != want {
+		t.Errorf("backoff consumed %v virtual time, want %v", got, want)
 	}
 }

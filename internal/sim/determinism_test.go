@@ -60,6 +60,29 @@ func TestMeasureConsistencyDeterministic(t *testing.T) {
 			StragglerN: 2, StragglerLatency: 20 * time.Millisecond,
 			Spares: 2, HedgeDelay: 4 * time.Millisecond, AdaptiveHedge: true, EagerRead: true,
 		}},
+
+		// The REAL data plane: calls framed by the binary codec, coalesced
+		// by the group-commit flusher, carried over virtual-time byte
+		// streams. Byte-level chunk latency draws and connection-reset
+		// faults must replay from the seed exactly like MemNetwork's
+		// per-call draws do.
+		{"tcp-virtual", ConsistencyConfig{
+			System: sys, Mode: register.Benign, Trials: 100, Seed: 19,
+			Virtual: true, Transport: TransportTCPVirtual,
+			LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+		}},
+		{"tcp-virtual-lossy-hedged", ConsistencyConfig{
+			System: sys, Mode: register.Benign, Trials: 100, Seed: 20,
+			Virtual: true, Transport: TransportTCPVirtual,
+			LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+			StragglerN: 3, StragglerLatency: 25 * time.Millisecond, DropProb: 0.01,
+			Spares: 3, HedgeDelay: 8 * time.Millisecond, AdaptiveHedge: true, EagerRead: true,
+		}},
+		{"tcp-virtual-masking-byz", ConsistencyConfig{
+			System: mask, Mode: register.Masking, K: mask.K(), B: mask.B(), Trials: 80, Seed: 21,
+			Virtual: true, Transport: TransportTCPVirtual,
+			LatencyMin: time.Millisecond, LatencyMax: 3 * time.Millisecond,
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

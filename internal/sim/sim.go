@@ -101,6 +101,15 @@ type ConsistencyConfig struct {
 	// deterministic even with hedging enabled — the configuration the
 	// wall clock could never replay.
 	Virtual bool
+	// Transport selects the data plane: TransportMem (default) calls the
+	// replicas through the in-process MemNetwork; TransportTCPVirtual runs
+	// every call through the real TCP stack — framing, binary codec,
+	// group-commit flusher, worker pool — over virtual-time byte streams,
+	// so the measured ε covers the deployed read/write path. The latency,
+	// straggler and drop knobs then configure the byte-stream network
+	// (per-chunk draws; DropProb resets connections, the stream analogue
+	// of a lost call). Requires Virtual.
+	Transport string
 	// LatencyMin and LatencyMax, when LatencyMax > 0, give every call a
 	// uniform simulated latency in [LatencyMin, LatencyMax] (drawn
 	// deterministically from the seed). This is what makes hedge timers
@@ -166,21 +175,46 @@ func measureConsistency(cfg ConsistencyConfig, clk *vtime.SimClock) (Consistency
 		netClk = clk
 	}
 	cluster := NewClusterClock(n, cfg.Seed, netClk)
-	if cfg.DropProb > 0 {
-		cluster.Net.SetDropProb(cfg.DropProb)
-	}
-	if cfg.LatencyMax > 0 {
-		cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
-	}
-	for i := 0; i < cfg.StragglerN && i < n; i++ {
-		cluster.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
+	var callTransport transport.Transport = cluster.Net
+	switch cfg.Transport {
+	case "", TransportMem:
+		if cfg.DropProb > 0 {
+			cluster.Net.SetDropProb(cfg.DropProb)
+		}
+		if cfg.LatencyMax > 0 {
+			cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		}
+		for i := 0; i < cfg.StragglerN && i < n; i++ {
+			cluster.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
+		}
+	case TransportTCPVirtual:
+		if clk == nil {
+			return ConsistencyResult{}, errors.New("sim: Transport tcp-virtual requires Virtual")
+		}
+		tc, err := NewTCPCluster(cluster, clk, cfg.Seed+0x7C9, 0)
+		if err != nil {
+			return ConsistencyResult{}, err
+		}
+		defer tc.Close()
+		if cfg.DropProb > 0 {
+			tc.Net.SetDrop(cfg.DropProb)
+		}
+		if cfg.LatencyMax > 0 {
+			tc.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		}
+		for i := 0; i < cfg.StragglerN && i < n; i++ {
+			tc.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
+		}
+		callTransport = tc.Client
+	default:
+		return ConsistencyResult{}, fmt.Errorf("sim: unknown Transport %q", cfg.Transport)
 	}
 
 	opts := register.Options{
 		System:          cfg.System,
 		Mode:            cfg.Mode,
 		K:               cfg.K,
-		Transport:       cluster.Net,
+		Transport:       callTransport,
 		Rand:            rand.New(rand.NewSource(cfg.Seed + 1)),
 		Clock:           ts.NewClock(1),
 		Spares:          cfg.Spares,

@@ -58,6 +58,54 @@ func TestSimFastLongFormEpsilon(t *testing.T) {
 	}
 }
 
+// TestSimFastLongFormEpsilonTCP is the virtual-TCP half of the `sim-fast`
+// gate: the long-form ε measurement runs through the REAL data plane —
+// binary codec, group-commit flusher, worker pool — over SimClock-scheduled
+// byte streams, with per-chunk latency in the tens of milliseconds,
+// stragglers and adaptive hedging. The wire path costs real scheduler work
+// (every chunk is a timer, every reply crosses read loop → call → gather),
+// so the bar is >= 20x rather than the MemNetwork run's 50x; what it gates
+// is the same property: simulated seconds must not cost wall seconds, now
+// for the code path production actually runs.
+//
+// Run it alone with: make sim-fast
+func TestSimFastLongFormEpsilonTCP(t *testing.T) {
+	sys, err := core.NewEpsilonIntersectingEll(100, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConsistencyConfig{
+		System: sys, Mode: register.Benign, Trials: 200, Seed: 42,
+		Virtual:    true,
+		Transport:  TransportTCPVirtual,
+		LatencyMin: 10 * time.Millisecond, LatencyMax: 30 * time.Millisecond,
+		StragglerN: 5, StragglerLatency: 80 * time.Millisecond,
+		Spares: 2, HedgeDelay: 90 * time.Millisecond, AdaptiveHedge: true,
+		EagerRead: true,
+	}
+	start := time.Now()
+	res, err := MeasureConsistency(cfg)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimElapsed < 5*time.Second {
+		t.Fatalf("run simulated only %v; chunk latency is not reaching the byte streams", res.SimElapsed)
+	}
+	speedup := float64(res.SimElapsed) / float64(wall)
+	t.Logf("virtual TCP: simulated %v in %v wall: %.0fx speedup (ε=%.4f over %d trials, bound %.3g)",
+		res.SimElapsed.Round(time.Millisecond), wall.Round(time.Millisecond),
+		speedup, res.Rate, res.Trials, sys.EpsilonBound())
+	if speedup < 20 {
+		t.Fatalf("virtual TCP ran only %.1fx faster than wall (%v simulated in %v); want >= 20x",
+			speedup, res.SimElapsed, wall)
+	}
+	sigma := math.Sqrt(sys.EpsilonBound() * (1 - sys.EpsilonBound()) / float64(cfg.Trials))
+	if res.Rate > sys.EpsilonBound()+3*sigma {
+		t.Fatalf("long-form ε %.5f far above bound %.5f", res.Rate, sys.EpsilonBound())
+	}
+}
+
 // TestAdaptiveHedgeEpsilonPreserved re-measures ε with adaptive hedging in
 // effect: the hedged client's failure rate must not exceed the unhedged
 // client's beyond finite-sample noise, because spare promotion — whether

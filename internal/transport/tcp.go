@@ -12,8 +12,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -57,6 +59,102 @@ const (
 	writeBufSize = 32 << 10
 )
 
+// errCallTimeout is returned by TCPClient.Call when CallTimeout elapses
+// before the reply. It implements net.Error (Timeout() == true), so
+// IsTransient classifies it like any socket timeout.
+var errCallTimeout = &vnetError{msg: "transport: call timed out", timeout: true}
+
+// ConnCodecStats counts one connection's traffic through the message codec:
+// envelope bodies encoded and decoded, and their byte volume. Gob
+// connections count messages only (gob's framing is opaque, so byte counts
+// stay zero). These counters are kept per connection — each connection's
+// goroutines increment their own uncontended cache line — and aggregated
+// into TCPStats on snapshot, replacing the process-wide counters the wire
+// package used to maintain on the hot path (one shared cache line hammered
+// by every connection in the process).
+type ConnCodecStats struct {
+	MessagesEncoded uint64 `json:"messages_encoded"`
+	MessagesDecoded uint64 `json:"messages_decoded"`
+	BytesEncoded    uint64 `json:"bytes_encoded"`
+	BytesDecoded    uint64 `json:"bytes_decoded"`
+}
+
+// add accumulates o into s.
+func (s *ConnCodecStats) add(o ConnCodecStats) {
+	s.MessagesEncoded += o.MessagesEncoded
+	s.MessagesDecoded += o.MessagesDecoded
+	s.BytesEncoded += o.BytesEncoded
+	s.BytesDecoded += o.BytesDecoded
+}
+
+// codecCounters is the mutable per-connection form of ConnCodecStats.
+type codecCounters struct {
+	msgEnc, msgDec, bytesEnc, bytesDec atomic.Uint64
+}
+
+func (c *codecCounters) countEncode(n int) { c.msgEnc.Add(1); c.bytesEnc.Add(uint64(n)) }
+func (c *codecCounters) countDecode(n int) { c.msgDec.Add(1); c.bytesDec.Add(uint64(n)) }
+
+func (c *codecCounters) snapshot() ConnCodecStats {
+	return ConnCodecStats{
+		MessagesEncoded: c.msgEnc.Load(),
+		MessagesDecoded: c.msgDec.Load(),
+		BytesEncoded:    c.bytesEnc.Load(),
+		BytesDecoded:    c.bytesDec.Load(),
+	}
+}
+
+// codecRegistry tracks an endpoint's live connections' codec counters and
+// folds finished connections into a closed total, so TCPStats aggregation
+// never loses counts when connections churn.
+type codecRegistry struct {
+	mu     sync.Mutex
+	live   map[*codecCounters]struct{}
+	closed ConnCodecStats
+}
+
+func (r *codecRegistry) open() *codecCounters {
+	c := &codecCounters{}
+	r.mu.Lock()
+	if r.live == nil {
+		r.live = make(map[*codecCounters]struct{})
+	}
+	r.live[c] = struct{}{}
+	r.mu.Unlock()
+	return c
+}
+
+func (r *codecRegistry) close(c *codecCounters) {
+	r.mu.Lock()
+	if _, ok := r.live[c]; ok {
+		delete(r.live, c)
+		r.closed.add(c.snapshot())
+	}
+	r.mu.Unlock()
+}
+
+// total returns closed + live aggregate.
+func (r *codecRegistry) total() ConnCodecStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.closed
+	for c := range r.live {
+		t.add(c.snapshot())
+	}
+	return t
+}
+
+// perConn returns a snapshot per live connection.
+func (r *codecRegistry) perConn() []ConnCodecStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ConnCodecStats, 0, len(r.live))
+	for c := range r.live {
+		out = append(out, c.snapshot())
+	}
+	return out
+}
+
 // TCPStats counts one TCP endpoint's wire activity. All counters are
 // cumulative; obtain snapshots via TCPServer.Stats or TCPClient.Stats.
 type TCPStats struct {
@@ -83,9 +181,12 @@ type TCPStats struct {
 	// opaque).
 	Flushes         uint64
 	WritesCoalesced uint64
+	// Codec aggregates the per-connection message-codec counters (closed
+	// connections included). See ConnCodecStats.
+	Codec ConnCodecStats
 }
 
-// tcpCounters is the shared mutable form of TCPStats.
+// tcpCounters is the shared mutable form of TCPStats' frame counters.
 type tcpCounters struct {
 	conns, framesRead, framesWritten, bytesRead, bytesWritten, flushes atomic.Uint64
 }
@@ -159,11 +260,18 @@ func uvarintLen(v uint64) int {
 // accumulated by the time it runs. A burst of concurrent replies or requests
 // therefore reaches the socket in one syscall, and the flush syscall itself
 // is off every writer's critical path.
+//
+// Under a vtime.SimClock the flusher is a registered worker and the kick
+// channel a tracked handoff (kickPending mirrors its occupancy under mu), so
+// flushes happen at the same virtual instant as the frames they carry and
+// the scheduler never advances time past an unflushed frame.
 type frameWriter struct {
-	mu    sync.Mutex
-	bw    *bufio.Writer
-	err   error // sticky write/flush error (guarded by mu)
-	stats *tcpCounters
+	mu          sync.Mutex
+	bw          *bufio.Writer
+	err         error // sticky write/flush error (guarded by mu)
+	stats       *tcpCounters
+	sched       vtime.Sched
+	kickPending bool // a kick is in the channel (guarded by mu)
 
 	kick    chan struct{} // capacity 1: wakes the flusher
 	done    chan struct{} // closed by close(); stops the flusher
@@ -174,10 +282,11 @@ type frameWriter struct {
 	enc *gob.Encoder
 }
 
-func newFrameWriter(conn net.Conn, codec Codec, stats *tcpCounters) *frameWriter {
+func newFrameWriter(conn net.Conn, codec Codec, stats *tcpCounters, sched vtime.Sched) *frameWriter {
 	w := &frameWriter{
 		bw:      bufio.NewWriterSize(conn, writeBufSize),
 		stats:   stats,
+		sched:   sched,
 		kick:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 		stopped: make(chan struct{}),
@@ -185,7 +294,7 @@ func newFrameWriter(conn net.Conn, codec Codec, stats *tcpCounters) *frameWriter
 	if codec == CodecGob {
 		w.enc = gob.NewEncoder(w.bw)
 	}
-	go w.flushLoop()
+	sched.Go(w.flushLoop)
 	return w
 }
 
@@ -200,23 +309,34 @@ func (w *frameWriter) close() {
 		w.err = ErrClosed
 	}
 	w.mu.Unlock()
+	w.sched.NoteSend() // the done close is one tracked wake-up
 	close(w.done)
+	unpark := w.sched.Park()
 	<-w.stopped
+	unpark()
+	w.sched.NoteRecv()
 }
 
 // flushLoop runs the group commit: each kick flushes everything buffered
 // since the last flush. The number of frames per flush grows with write
 // concurrency (see TCPStats.WritesCoalesced).
 func (w *frameWriter) flushLoop() {
-	defer close(w.stopped)
+	defer func() {
+		w.sched.NoteSend() // pairs with close()'s wait on stopped
+		close(w.stopped)
+	}()
 	for {
+		unpark := w.sched.Park()
 		select {
 		case <-w.kick:
+			unpark()
+			w.sched.NoteRecv()
 			// Yield once before flushing: writers that are runnable right
 			// now get to append their frames first, growing the batch. On an
 			// idle connection this is a no-op, so it costs no latency.
 			runtime.Gosched()
 			w.mu.Lock()
+			w.kickPending = false
 			if w.err == nil && w.bw.Buffered() > 0 {
 				w.stats.flushes.Add(1)
 				if err := w.bw.Flush(); err != nil {
@@ -225,20 +345,33 @@ func (w *frameWriter) flushLoop() {
 			}
 			w.mu.Unlock()
 		case <-w.done:
+			unpark()
+			w.sched.NoteRecv()
+			// Consume a kick that raced the shutdown, so its tracked send
+			// does not strand the scheduler's pending count.
+			w.mu.Lock()
+			if w.kickPending {
+				<-w.kick
+				w.kickPending = false
+				w.sched.NoteRecv()
+			}
+			w.mu.Unlock()
 			return
 		}
 	}
 }
 
 // appendDone marks a frame appended and wakes the flusher. Call with mu
-// held; it unlocks.
+// held; it unlocks. The kick send stays under mu so kickPending exactly
+// mirrors the channel (the flusher's shutdown drain relies on that).
 func (w *frameWriter) appendDone() {
 	w.stats.framesWritten.Add(1)
-	w.mu.Unlock()
-	select {
-	case w.kick <- struct{}{}:
-	default: // flusher already scheduled; this frame rides along
+	if !w.kickPending {
+		w.kickPending = true
+		w.sched.NoteSend()
+		w.kick <- struct{}{}
 	}
+	w.mu.Unlock()
 }
 
 // writeFrame writes a length-prefixed binary frame.
@@ -296,7 +429,19 @@ func (w *frameWriter) writeGob(v any) error {
 	return nil
 }
 
-// TCPServer serves a Handler over a TCP listener using framed wire.Envelope
+// TCPOptions configures a TCPServer beyond its codec.
+type TCPOptions struct {
+	// Codec selects the wire serialization (CodecBinary default).
+	Codec Codec
+	// Clock supplies the scheduling discipline. Nil means the wall clock;
+	// a vtime.SimClock enrolls every server goroutine (accept loop,
+	// connection read loops, flushers, worker pools) in the virtual-time
+	// scheduler, which is what lets the real data plane run inside the
+	// deterministic harnesses (see VirtualNet).
+	Clock vtime.Clock
+}
+
+// TCPServer serves a Handler over a listener using framed wire.Envelope
 // messages (binary codec by default; see ListenTCPCodec). Each accepted
 // connection is multiplexed: requests are handled concurrently and replies
 // are written back tagged with the request id, so a single client connection
@@ -306,6 +451,8 @@ type TCPServer struct {
 	handler  Handler
 	listener net.Listener
 	codec    Codec
+	clock    vtime.Clock
+	sched    vtime.Sched
 
 	// baseCtx is the root of every per-connection context; Close cancels it,
 	// so in-flight handlers observe shutdown instead of running on past it.
@@ -313,11 +460,12 @@ type TCPServer struct {
 	cancelCtx context.CancelFunc
 
 	stats tcpCounters
+	codecReg codecRegistry
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-	wg     sync.WaitGroup
+	wg     *vtime.WaitGroup
 }
 
 // ListenTCP starts serving h on addr (e.g. "127.0.0.1:0") with the default
@@ -330,20 +478,31 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 // ListenTCPCodec is ListenTCP with an explicit codec. Clients must dial with
 // the same codec.
 func ListenTCPCodec(addr string, h Handler, codec Codec) (*TCPServer, error) {
-	wire.RegisterGob()
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
+	return ServeListener(l, h, TCPOptions{Codec: codec}), nil
+}
+
+// ServeListener runs the TCP server stack on an existing listener — a real
+// socket or a VirtualNet listener. This is the injection point that lets
+// the unmodified data plane (framing, codec, flusher, worker pool) run on
+// virtual-time byte streams inside the harnesses.
+func ServeListener(l net.Listener, h Handler, o TCPOptions) *TCPServer {
+	wire.RegisterGob()
+	clk := vtime.Or(o.Clock)
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &TCPServer{
-		handler: h, listener: l, codec: codec,
+		handler: h, listener: l, codec: o.Codec,
+		clock: clk, sched: vtime.SchedOf(clk),
 		baseCtx: ctx, cancelCtx: cancel,
 		conns: make(map[net.Conn]struct{}),
+		wg:    vtime.NewWaitGroup(clk),
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
-	return s, nil
+	s.sched.Go(s.acceptLoop)
+	return s
 }
 
 // Addr returns the listener's address, useful with port 0.
@@ -353,7 +512,15 @@ func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
 func (s *TCPServer) Codec() Codec { return s.codec }
 
 // Stats returns a snapshot of the server's wire counters.
-func (s *TCPServer) Stats() TCPStats { return s.stats.snapshot() }
+func (s *TCPServer) Stats() TCPStats {
+	st := s.stats.snapshot()
+	st.Codec = s.codecReg.total()
+	return st
+}
+
+// ConnStats returns per-connection codec counters for the server's live
+// connections (the admin endpoint surfaces these).
+func (s *TCPServer) ConnStats() []ConnCodecStats { return s.codecReg.perConn() }
 
 // Close stops the listener, cancels the context of every in-flight request,
 // closes open connections and waits for all server goroutines to exit.
@@ -391,7 +558,7 @@ func (s *TCPServer) acceptLoop() {
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.stats.conns.Add(1)
-		go s.serveConn(conn)
+		s.sched.Go(func() { s.serveConn(conn) })
 	}
 }
 
@@ -406,7 +573,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	// the connection tears down or the server closes, so in-flight handlers
 	// cannot outlive either.
 	ctx, cancel := context.WithCancel(s.baseCtx)
-	w := newFrameWriter(conn, s.codec, &s.stats)
+	w := newFrameWriter(conn, s.codec, &s.stats, s.sched)
+	cc := s.codecReg.open()
+	defer s.codecReg.close(cc)
 	// Teardown order (LIFO): cancel the connection context FIRST — its
 	// replies are undeliverable, and a handler blocked on ctx.Done would
 	// otherwise deadlock the wait — then wait out in-flight handlers, then
@@ -414,7 +583,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	// the flusher; see frameWriter.close).
 	defer w.close()
 	defer conn.Close()
-	var reqWG sync.WaitGroup
+	reqWG := vtime.NewWaitGroup(s.clock)
 	defer reqWG.Wait()
 	defer cancel()
 
@@ -428,6 +597,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		// A write error means the connection is going away; the read loop
 		// will observe it and exit.
 		if s.codec == CodecGob {
+			cc.countEncode(0)
 			_ = w.writeGob(&reply)
 			return
 		}
@@ -439,6 +609,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			// reply (the client would hang).
 			frame, _ = wire.AppendReplyEnvelope((*bp)[:0], wire.ReplyEnvelope{ID: env.ID, Err: err.Error()})
 		}
+		cc.countEncode(len(frame))
 		_ = w.writeFrame(frame)
 		*bp = frame[:0]
 		wire.PutBuffer(bp)
@@ -452,25 +623,46 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	// that arrived after it.
 	const workers = 4
 	reqCh := make(chan wire.Envelope)
-	defer close(reqCh)
+	defer func() {
+		// Each pool worker consumes the close as one WEAK wake-up: weak so
+		// that a worker busy in a handler sleeping on the clock cannot
+		// freeze virtual time with its unconsumed wake (exiting workers do
+		// nothing observable; reqWG.Done is its own tracked release), yet
+		// visible enough that the deadlock detector waits out the wake
+		// in-flight window instead of panicking.
+		for i := 0; i < workers; i++ {
+			s.sched.NoteWeakSend()
+		}
+		close(reqCh)
+	}()
 	for i := 0; i < workers; i++ {
 		reqWG.Add(1)
-		go func() {
+		s.sched.Go(func() {
 			defer reqWG.Done()
-			for env := range reqCh {
+			for {
+				unpark := s.sched.Park()
+				env, ok := <-reqCh
+				unpark()
+				if !ok {
+					s.sched.NoteWeakRecv()
+					return
+				}
+				s.sched.NoteRecv()
 				handle(env)
 			}
-		}()
+		})
 	}
 	dispatch := func(env wire.Envelope) {
+		s.sched.NoteSend()
 		select {
 		case reqCh <- env:
 		default:
+			s.sched.NoteRecv() // no idle worker took it; undo the note
 			reqWG.Add(1)
-			go func() {
+			s.sched.Go(func() {
 				defer reqWG.Done()
 				handle(env)
-			}()
+			})
 		}
 	}
 
@@ -482,6 +674,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 				return
 			}
 			s.stats.framesRead.Add(1)
+			cc.countDecode(0)
 			dispatch(env)
 		}
 	}
@@ -492,6 +685,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 		env, err := wire.DecodeEnvelope(body)
+		cc.countDecode(len(body))
 		release()
 		if err != nil {
 			return // corrupt stream; drop the connection
@@ -500,14 +694,40 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// TCPClientOptions configures a TCPClient beyond its codec.
+type TCPClientOptions struct {
+	// Codec selects the wire serialization (CodecBinary default); it must
+	// match the servers'.
+	Codec Codec
+	// Clock supplies timers and the scheduling discipline (nil = wall).
+	Clock vtime.Clock
+	// Dial overrides how connections are established. It receives the
+	// destination server id and its configured address; nil means
+	// net.Dial("tcp", addr). The harnesses pass VirtualNet.Dialer here.
+	Dial func(to quorum.ServerID, addr string) (net.Conn, error)
+	// CallTimeout, when positive, bounds every Call on the client's clock:
+	// a call that has not completed within it fails with a transient
+	// timeout error and its connection is torn down (re-dialed on the next
+	// call). Under a SimClock the timer is part of the deterministic event
+	// order, which gives the harnesses bounded-liveness over faults no
+	// prompt error can surface — a corrupted length prefix, a reply whose
+	// id was flipped in flight — without wall-clock deadlines.
+	CallTimeout time.Duration
+}
+
 // TCPClient implements Transport over TCP. It maintains one multiplexed
 // connection per server, established lazily and re-dialed after failures.
 // Concurrent requests on one connection are coalesced into shared flushes.
 type TCPClient struct {
 	addrs map[quorum.ServerID]string
 	codec Codec
+	clock vtime.Clock
+	sched vtime.Sched
+	dial  func(to quorum.ServerID, addr string) (net.Conn, error)
+	callTimeout time.Duration
 
-	stats tcpCounters
+	stats    tcpCounters
+	codecReg codecRegistry
 
 	mu     sync.Mutex
 	conns  map[quorum.ServerID]*tcpConn
@@ -524,12 +744,30 @@ func NewTCPClient(addrs map[quorum.ServerID]string) *TCPClient {
 // NewTCPClientCodec is NewTCPClient with an explicit codec; it must match
 // the servers'.
 func NewTCPClientCodec(addrs map[quorum.ServerID]string, codec Codec) *TCPClient {
+	return NewTCPClientOpts(addrs, TCPClientOptions{Codec: codec})
+}
+
+// NewTCPClientOpts is NewTCPClient with full options (codec, clock, dialer
+// injection, call timeout).
+func NewTCPClientOpts(addrs map[quorum.ServerID]string, o TCPClientOptions) *TCPClient {
 	wire.RegisterGob()
 	cp := make(map[quorum.ServerID]string, len(addrs))
 	for id, a := range addrs {
 		cp[id] = a
 	}
-	return &TCPClient{addrs: cp, codec: codec, conns: make(map[quorum.ServerID]*tcpConn)}
+	clk := vtime.Or(o.Clock)
+	dial := o.Dial
+	if dial == nil {
+		dial = func(_ quorum.ServerID, addr string) (net.Conn, error) {
+			return net.Dial("tcp", addr)
+		}
+	}
+	return &TCPClient{
+		addrs: cp, codec: o.Codec,
+		clock: clk, sched: vtime.SchedOf(clk),
+		dial: dial, callTimeout: o.CallTimeout,
+		conns: make(map[quorum.ServerID]*tcpConn),
+	}
 }
 
 var _ Transport = (*TCPClient)(nil)
@@ -539,7 +777,15 @@ func (c *TCPClient) Codec() Codec { return c.codec }
 
 // Stats returns a snapshot of the client's wire counters, aggregated over
 // all its connections.
-func (c *TCPClient) Stats() TCPStats { return c.stats.snapshot() }
+func (c *TCPClient) Stats() TCPStats {
+	st := c.stats.snapshot()
+	st.Codec = c.codecReg.total()
+	return st
+}
+
+// ConnStats returns per-connection codec counters for the client's live
+// connections.
+func (c *TCPClient) ConnStats() []ConnCodecStats { return c.codecReg.perConn() }
 
 // Call implements Transport.
 func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
@@ -553,8 +799,17 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any,
 		c.evict(to, conn)
 		return nil, err
 	}
+	var timeoutC <-chan time.Time
+	if c.callTimeout > 0 {
+		t := c.clock.NewTimer(c.callTimeout)
+		defer t.Stop()
+		timeoutC = t.C
+	}
+	unpark := c.sched.Park()
 	select {
 	case r, ok := <-ch:
+		unpark()
+		c.sched.NoteRecv()
 		if !ok {
 			c.evict(to, conn)
 			return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
@@ -563,8 +818,42 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any,
 			return nil, fmt.Errorf("server %d: %s", to, r.Err)
 		}
 		return r.Payload, nil
+	case <-timeoutC:
+		unpark()
+		c.sched.NoteRecv()
+		if !conn.abandon(id) {
+			// A reply (or the conn's failure close) raced the timer into the
+			// buffered channel: consume it — its tracked send must not
+			// strand the scheduler's pending count — and honor it, so the
+			// call's outcome does not depend on which case of a same-instant
+			// race the select happened to pick.
+			r, ok := <-ch
+			c.sched.NoteRecv()
+			if !ok {
+				c.evict(to, conn)
+				return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
+			}
+			if r.Err != "" {
+				return nil, fmt.Errorf("server %d: %s", to, r.Err)
+			}
+			return r.Payload, nil
+		}
+		// The conn is suspect (slow, stalled, or its framing desynced by a
+		// corrupted prefix): the call is abandoned and the conn torn down so
+		// the next call re-dials a clean stream.
+		c.evict(to, conn)
+		return nil, fmt.Errorf("server %d: %w", to, errCallTimeout)
 	case <-ctx.Done():
-		conn.abandon(id)
+		unpark()
+		if !conn.abandon(id) {
+			// The reply (or the conn's failure close) already claimed the
+			// call: its tracked wake-up is in the buffered channel or about
+			// to land there. Consume it so the send's NoteSend cannot
+			// strand the scheduler's pending count — under a SimClock an
+			// unconsumed tracked message freezes virtual time forever.
+			<-ch
+			c.sched.NoteRecv()
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -597,12 +886,12 @@ func (c *TCPClient) conn(to quorum.ServerID) (*tcpConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("server %d: %w", to, ErrUnknownServer)
 	}
-	raw, err := net.Dial("tcp", addr)
+	raw, err := c.dial(to, addr)
 	if err != nil {
 		return nil, fmt.Errorf("server %d: %w", to, err)
 	}
 	c.stats.conns.Add(1)
-	conn := newTCPConn(raw, c.codec, &c.stats)
+	conn := newTCPConn(raw, c.codec, &c.stats, c.sched, c.codecReg.open(), &c.codecReg)
 	c.conns[to] = conn
 	return conn, nil
 }
@@ -622,21 +911,29 @@ type tcpConn struct {
 	codec Codec
 	w     *frameWriter
 	stats *tcpCounters
+	sched vtime.Sched
+	cc    *codecCounters
+	reg   *codecRegistry
 
-	mu      sync.Mutex
-	pending map[uint64]chan wire.ReplyEnvelope
-	closed  bool
+	mu        sync.Mutex
+	pending   map[uint64]chan wire.ReplyEnvelope
+	abandoned map[uint64]struct{}
+	closed    bool
 }
 
-func newTCPConn(raw net.Conn, codec Codec, stats *tcpCounters) *tcpConn {
+func newTCPConn(raw net.Conn, codec Codec, stats *tcpCounters, sched vtime.Sched, cc *codecCounters, reg *codecRegistry) *tcpConn {
 	c := &tcpConn{
-		raw:     raw,
-		codec:   codec,
-		w:       newFrameWriter(raw, codec, stats),
-		stats:   stats,
-		pending: make(map[uint64]chan wire.ReplyEnvelope),
+		raw:       raw,
+		codec:     codec,
+		w:         newFrameWriter(raw, codec, stats, sched),
+		stats:     stats,
+		sched:     sched,
+		cc:        cc,
+		reg:       reg,
+		pending:   make(map[uint64]chan wire.ReplyEnvelope),
+		abandoned: make(map[uint64]struct{}),
 	}
-	go c.readLoop()
+	sched.Go(c.readLoop)
 	return c
 }
 
@@ -652,28 +949,49 @@ func (c *tcpConn) send(id uint64, req any) (chan wire.ReplyEnvelope, error) {
 
 	var err error
 	if c.codec == CodecGob {
+		c.cc.countEncode(0)
 		err = c.w.writeGob(&wire.Envelope{ID: id, Payload: req})
 	} else {
 		bp := wire.GetBuffer()
 		var frame []byte
 		frame, err = wire.AppendEnvelope(*bp, wire.Envelope{ID: id, Payload: req})
 		if err == nil {
+			c.cc.countEncode(len(frame))
 			err = c.w.writeFrame(frame)
 			*bp = frame[:0]
 		}
 		wire.PutBuffer(bp)
 	}
 	if err != nil {
-		c.abandon(id)
+		c.forget(id)
 		return nil, fmt.Errorf("transport: send: %w", err)
 	}
 	return ch, nil
 }
 
-func (c *tcpConn) abandon(id uint64) {
+// forget drops a pending call without expecting its reply (send failure:
+// the request never went out).
+func (c *tcpConn) forget(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.pending, id)
+}
+
+// abandon drops a pending call whose reply may still arrive (timeout or
+// context cancellation); a late reply matching it is discarded silently
+// instead of being treated as a protocol violation. It reports whether the
+// call was still pending: false means deliver or failAll already claimed
+// it, so a (tracked) wake-up is in — or imminently landing in — the
+// call's buffered channel and the caller must consume it.
+func (c *tcpConn) abandon(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.pending[id]; ok {
+		delete(c.pending, id)
+		c.abandoned[id] = struct{}{}
+		return true
+	}
+	return false
 }
 
 func (c *tcpConn) readLoop() {
@@ -686,7 +1004,10 @@ func (c *tcpConn) readLoop() {
 				return
 			}
 			c.stats.framesRead.Add(1)
-			c.deliver(reply)
+			c.cc.countDecode(0)
+			if !c.deliver(reply) {
+				return
+			}
 		}
 	}
 	br := bufio.NewReaderSize(c.raw, readBufSize)
@@ -697,23 +1018,39 @@ func (c *tcpConn) readLoop() {
 			return
 		}
 		reply, err := wire.DecodeReplyEnvelope(body)
+		c.cc.countDecode(len(body))
 		release()
 		if err != nil {
 			c.failAll()
 			return
 		}
-		c.deliver(reply)
+		if !c.deliver(reply) {
+			return
+		}
 	}
 }
 
-func (c *tcpConn) deliver(reply wire.ReplyEnvelope) {
+// deliver routes a reply to its waiting call. A reply matching no pending
+// or abandoned call means the stream is desynced or an id was corrupted in
+// flight: the connection is failed (false return stops the read loop).
+func (c *tcpConn) deliver(reply wire.ReplyEnvelope) bool {
 	c.mu.Lock()
 	ch, ok := c.pending[reply.ID]
-	delete(c.pending, reply.ID)
-	c.mu.Unlock()
 	if ok {
+		delete(c.pending, reply.ID)
+		c.mu.Unlock()
+		c.sched.NoteSend()
 		ch <- reply
+		return true
 	}
+	if _, was := c.abandoned[reply.ID]; was {
+		delete(c.abandoned, reply.ID)
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+	c.failAll()
+	return false
 }
 
 // failAll closes the connection and wakes every pending caller with a
@@ -726,11 +1063,14 @@ func (c *tcpConn) failAll() {
 	}
 	c.closed = true
 	for id, ch := range c.pending {
+		c.sched.NoteSend() // the close below is one tracked wake-up
 		close(ch)
 		delete(c.pending, id)
 	}
+	c.abandoned = make(map[uint64]struct{})
 	c.raw.Close() // before w.close: unblocks a flusher stuck in Flush
 	c.w.close()
+	c.reg.close(c.cc)
 }
 
 func (c *tcpConn) close() error {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/vtime"
 	"pqs/internal/wire"
 )
 
@@ -444,7 +445,7 @@ func (c slowSinkConn) Write(p []byte) (int, error) {
 // must ride the next one.
 func TestFrameWriterCoalesces(t *testing.T) {
 	var stats tcpCounters
-	w := newFrameWriter(slowSinkConn{delay: 2 * time.Millisecond}, CodecBinary, &stats)
+	w := newFrameWriter(slowSinkConn{delay: 2 * time.Millisecond}, CodecBinary, &stats, vtime.SchedOf(nil))
 	defer w.close()
 	const writers, frames = 16, 8
 	var wg sync.WaitGroup

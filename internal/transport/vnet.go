@@ -1,0 +1,763 @@
+package transport
+
+// This file implements VirtualNet, the virtual-time byte-stream network the
+// TCP data plane runs on inside the sim and chaos harnesses: an in-process
+// net.Conn / net.Listener implementation whose write→read delivery latency,
+// byte pacing and half-close semantics are scheduled on a vtime.Clock. The
+// real TCP stack — framing, binary codec, bufio group-commit flusher,
+// worker pool, per-connection contexts — runs on it unmodified (see
+// ServeListener and TCPClientOptions.Dial), which is what puts the
+// production code path inside the determinism contract: under a
+// vtime.SimClock a whole chaos scenario over "TCP" replays byte-for-byte
+// from its seed and executes in wall-clock milliseconds.
+//
+// Fault injection happens at the byte-stream layer, below framing, so the
+// adversary works against framed bytes rather than messages:
+//
+//   - Drop: a lost chunk is unrecoverable for a stream (the framing after
+//     the gap is garbage), so the connection pair is reset — exactly how a
+//     real TCP stack surfaces persistent segment loss to the application.
+//   - Corrupt: one bit of the chunk is flipped in flight (a checksum-evading
+//     adversary). Depending on where it lands the receiver sees a broken
+//     length prefix (connection dropped), an undecodable body (connection
+//     dropped), or a decodable-but-wrong message (the protocol's end-to-end
+//     defenses — signatures, vouch thresholds — must absorb it).
+//   - Delay/jitter: per-chunk delivery delay, monotone per direction so the
+//     stream never reorders internally; across connections it shuffles
+//     reply arrival exactly like MemNetwork's reorder fault.
+//   - Block/Crash/Deregister: connections touching the target are reset and
+//     new dials refused, the byte-level analogue of the chaos engine's
+//     link blocks and the simulated network's crash/membership faults.
+//
+// Duplication has no byte-stream analogue by design: TCP sequence numbers
+// deduplicate segments, so at-least-once delivery cannot be observed above
+// a stream transport. Scenarios that set a duplication probability are
+// exercising a fault class this transport provably rules out, and the
+// verdict is a deliberate no-op here.
+//
+// Determinism: every latency draw and fault verdict is a pure function of
+// (seed, link, per-link chunk counter), the same counter-hashing discipline
+// MemNetwork and the chaos engine use. The harnesses serialize traffic per
+// connection (one outstanding RPC per server per operation), so per-link
+// chunk sequences — and therefore delivery schedules — replay exactly.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/vtime"
+)
+
+// vnetError is a transport-level failure of the virtual network. It
+// implements net.Error so IsTransient classifies it exactly like a real
+// socket error.
+type vnetError struct {
+	msg     string
+	timeout bool
+}
+
+func (e *vnetError) Error() string   { return e.msg }
+func (e *vnetError) Timeout() bool   { return e.timeout }
+func (e *vnetError) Temporary() bool { return true }
+
+// errVConnReset is what readers and writers observe on a connection the
+// fault plane reset (chunk drop, block, crash, deregister).
+var errVConnReset = &vnetError{msg: "transport: virtual connection reset"}
+
+// VNetStats counts a VirtualNet's byte-stream activity.
+type VNetStats struct {
+	// Dials counts connection establishments.
+	Dials uint64
+	// Chunks and ChunkBytes count scheduled write chunks (a bufio flush is
+	// one chunk, like one TCP segment burst).
+	Chunks     uint64
+	ChunkBytes uint64
+	// Dropped, Corrupted and Resets count fault-plane interventions.
+	Dropped   uint64
+	Corrupted uint64
+	Resets    uint64
+}
+
+// vlinkKey identifies one directed byte path. client is the dialing
+// identity (ClientSource for plain clients), server the listener id;
+// toServer distinguishes the request leg from the reply leg.
+type vlinkKey struct {
+	client, server quorum.ServerID
+	toServer       bool
+}
+
+// blockKey is a directed block; either side may be Anyone.
+type blockKey struct{ from, to quorum.ServerID }
+
+// Anyone is the wildcard endpoint for VirtualNet.Block, mirroring the
+// chaos package's Any.
+const Anyone quorum.ServerID = -2
+
+// VirtualNet is the virtual-time byte-stream network. Construct with
+// NewVirtualNet; all methods are safe for concurrent use.
+type VirtualNet struct {
+	clock vtime.Clock
+	sched vtime.Sched
+	seed  uint64
+
+	mu        sync.Mutex
+	listeners map[quorum.ServerID]*VListener
+	conns     map[*vconn]struct{} // client-side endpoints of live pairs
+	crashed   map[quorum.ServerID]bool
+	blocked   map[blockKey]bool
+	minLat    time.Duration
+	maxLat    time.Duration
+	perServer map[quorum.ServerID]latRange
+	byteRate  int64 // bytes per second; 0 = infinite
+	dropP     float64
+	corruptP  float64
+	jitterMax time.Duration
+	chunkSeq  map[vlinkKey]uint64
+
+	stats struct {
+		dials, chunks, chunkBytes, dropped, corrupted, resets uint64
+	}
+}
+
+// NewVirtualNet returns an empty virtual network on clk (nil means the wall
+// clock — the conn semantics work under either, but only a vtime.SimClock
+// makes runs deterministic and instant). seed fixes every latency draw and
+// fault verdict.
+func NewVirtualNet(clk vtime.Clock, seed int64) *VirtualNet {
+	c := vtime.Or(clk)
+	return &VirtualNet{
+		clock:     c,
+		sched:     vtime.SchedOf(c),
+		seed:      uint64(seed),
+		listeners: make(map[quorum.ServerID]*VListener),
+		conns:     make(map[*vconn]struct{}),
+		crashed:   make(map[quorum.ServerID]bool),
+		blocked:   make(map[blockKey]bool),
+		perServer: make(map[quorum.ServerID]latRange),
+		chunkSeq:  make(map[vlinkKey]uint64),
+	}
+}
+
+// Clock returns the network's time source.
+func (vn *VirtualNet) Clock() vtime.Clock { return vn.clock }
+
+// Stats returns a snapshot of the network's counters.
+func (vn *VirtualNet) Stats() VNetStats {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	return VNetStats{
+		Dials:      vn.stats.dials,
+		Chunks:     vn.stats.chunks,
+		ChunkBytes: vn.stats.chunkBytes,
+		Dropped:    vn.stats.dropped,
+		Corrupted:  vn.stats.corrupted,
+		Resets:     vn.stats.resets,
+	}
+}
+
+// SetLatency sets the uniform per-chunk delivery latency range (drawn
+// deterministically per link from the seed). Zero disables delay.
+func (vn *VirtualNet) SetLatency(min, max time.Duration) {
+	if min < 0 || max < min {
+		panic("transport: invalid latency range")
+	}
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.minLat, vn.maxLat = min, max
+}
+
+// SetServerLatency overrides the chunk latency range for every connection
+// whose listener end is id (both directions), modelling a straggler. A zero
+// max restores the global range.
+func (vn *VirtualNet) SetServerLatency(id quorum.ServerID, min, max time.Duration) {
+	if min < 0 || max < min {
+		panic("transport: invalid latency range")
+	}
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	if max == 0 {
+		delete(vn.perServer, id)
+		return
+	}
+	vn.perServer[id] = latRange{min: min, max: max}
+}
+
+// SetByteRate sets the link bandwidth in bytes per second: each chunk adds
+// its serialization delay and occupies its direction of the link while
+// transmitting. Zero means infinite bandwidth.
+func (vn *VirtualNet) SetByteRate(bytesPerSec int64) {
+	if bytesPerSec < 0 {
+		panic("transport: negative byte rate")
+	}
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.byteRate = bytesPerSec
+}
+
+// SetDrop sets the per-chunk loss probability. A dropped chunk resets its
+// connection pair (stream framing cannot survive a gap).
+func (vn *VirtualNet) SetDrop(p float64) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.dropP = p
+}
+
+// SetCorrupt sets the per-chunk bit-flip probability.
+func (vn *VirtualNet) SetCorrupt(p float64) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.corruptP = p
+}
+
+// SetJitter sets the maximum extra per-chunk delivery delay (reordering
+// across connections; within one stream delivery stays monotone).
+func (vn *VirtualNet) SetJitter(max time.Duration) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.jitterMax = max
+}
+
+// Crash marks a server crashed: dials to it fail with ErrCrashed and every
+// connection touching it is reset. Recover clears the mark (existing
+// connections stay dead; clients re-dial).
+func (vn *VirtualNet) Crash(id quorum.ServerID) {
+	vn.mu.Lock()
+	vn.crashed[id] = true
+	victims := vn.connsTouchingLocked(id)
+	vn.mu.Unlock()
+	resetAll(victims)
+}
+
+// Recover clears a server's crashed state.
+func (vn *VirtualNet) Recover(id quorum.ServerID) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	delete(vn.crashed, id)
+}
+
+// Block severs the directed path from→to (either may be Anyone): new dials
+// whose request leg matches fail with ErrDropped, and existing connections
+// carrying a matching direction are reset. This is the prompt-failure
+// semantics of the chaos engine's link blocks: a stream with one direction
+// blackholed can only stall, and a stalled RPC is surfaced as a reset
+// rather than a hung virtual world.
+func (vn *VirtualNet) Block(from, to quorum.ServerID) {
+	vn.mu.Lock()
+	vn.blocked[blockKey{from, to}] = true
+	var victims []*vconn
+	for c := range vn.conns {
+		if vn.blockAppliesLocked(c.client, c.server) || vn.blockAppliesLocked(c.server, c.client) {
+			victims = append(victims, c)
+		}
+	}
+	vn.mu.Unlock()
+	resetAll(victims)
+}
+
+// Unblock restores the directed path from→to (exact key match).
+func (vn *VirtualNet) Unblock(from, to quorum.ServerID) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	delete(vn.blocked, blockKey{from, to})
+}
+
+// Heal removes every block and zeroes every fault probability (latency and
+// bandwidth are topology, not faults, and stay).
+func (vn *VirtualNet) Heal() {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.blocked = make(map[blockKey]bool)
+	vn.dropP, vn.corruptP, vn.jitterMax = 0, 0, 0
+}
+
+// Deregister removes a server from the address space: dials fail with
+// ErrUnknownServer, its listener stops accepting, and connections touching
+// it are reset. A later Listen rebinds the id (membership rejoin).
+func (vn *VirtualNet) Deregister(id quorum.ServerID) {
+	vn.mu.Lock()
+	l := vn.listeners[id]
+	delete(vn.listeners, id)
+	delete(vn.crashed, id)
+	delete(vn.perServer, id)
+	victims := vn.connsTouchingLocked(id)
+	vn.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
+	resetAll(victims)
+}
+
+// connsTouchingLocked returns live pairs with id as either endpoint.
+func (vn *VirtualNet) connsTouchingLocked(id quorum.ServerID) []*vconn {
+	var out []*vconn
+	for c := range vn.conns {
+		if c.client == id || c.server == id {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func resetAll(conns []*vconn) {
+	for _, c := range conns {
+		c.reset(errVConnReset)
+	}
+}
+
+// blockAppliesLocked reports whether a directed block covers from→to.
+func (vn *VirtualNet) blockAppliesLocked(from, to quorum.ServerID) bool {
+	return vn.blocked[blockKey{from, to}] ||
+		vn.blocked[blockKey{Anyone, to}] ||
+		vn.blocked[blockKey{from, Anyone}]
+}
+
+// Listen binds a virtual listener to id. The returned listener plugs into
+// ServeListener; its Addr is "virtual:<id>".
+func (vn *VirtualNet) Listen(id quorum.ServerID) (*VListener, error) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	if _, ok := vn.listeners[id]; ok {
+		return nil, fmt.Errorf("transport: virtual address %d already bound", id)
+	}
+	l := &VListener{net: vn, id: id, ch: make(chan struct{}, 1)}
+	vn.listeners[id] = l
+	return l, nil
+}
+
+// Dialer returns a dial function bound to the given source identity,
+// matching TCPClientOptions.Dial. Per-link fault decisions and latency
+// draws key on (source, destination), so per-source dialers are what give
+// server-initiated traffic (gossip) true link identities.
+func (vn *VirtualNet) Dialer(from quorum.ServerID) func(to quorum.ServerID, addr string) (net.Conn, error) {
+	return func(to quorum.ServerID, _ string) (net.Conn, error) {
+		return vn.dial(from, to)
+	}
+}
+
+func (vn *VirtualNet) dial(from, to quorum.ServerID) (net.Conn, error) {
+	vn.mu.Lock()
+	if vn.crashed[to] {
+		vn.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	if vn.blockAppliesLocked(from, to) {
+		vn.mu.Unlock()
+		return nil, ErrDropped
+	}
+	l, ok := vn.listeners[to]
+	if !ok {
+		vn.mu.Unlock()
+		return nil, ErrUnknownServer
+	}
+	pmu := new(sync.Mutex)
+	cl := &vconn{net: vn, client: from, server: to, toServer: true, pmu: pmu, readCh: make(chan struct{}, 1)}
+	sv := &vconn{net: vn, client: from, server: to, toServer: false, pmu: pmu, readCh: make(chan struct{}, 1)}
+	cl.peer, sv.peer = sv, cl
+	vn.conns[cl] = struct{}{}
+	vn.stats.dials++
+	vn.mu.Unlock()
+	if !l.enqueue(sv) {
+		// The listener is closed but the address still bound: the server
+		// stopped accepting without leaving the membership, which is a
+		// refused/reset connection — NOT an unknown address (Deregister is
+		// what removes the binding and produces ErrUnknownServer).
+		cl.reset(errVConnReset)
+		return nil, errVConnReset
+	}
+	return cl, nil
+}
+
+// dropConn forgets a finished pair (either endpoint).
+func (vn *VirtualNet) dropConn(c *vconn) {
+	if !c.toServer {
+		c = c.peer
+	}
+	vn.mu.Lock()
+	delete(vn.conns, c)
+	vn.mu.Unlock()
+}
+
+// chunkVerdict is the fault plane's decision on one written chunk.
+type chunkVerdict struct {
+	drop       bool
+	corruptBit int64 // < 0: none; else bit index into the chunk
+	delay      time.Duration
+}
+
+// verdict draws the per-chunk decision word: delivery latency (global or
+// per-server override), jitter, drop and corruption, all counter-hashed
+// from (seed, link, chunk sequence) exactly like MemNetwork's per-call
+// draws, so a run whose per-link chunk sequence is deterministic replays
+// its delivery schedule and fault pattern from the seed.
+func (vn *VirtualNet) verdict(link vlinkKey, size int) chunkVerdict {
+	vn.mu.Lock()
+	vn.chunkSeq[link]++
+	seq := vn.chunkSeq[link]
+	minLat, maxLat := vn.minLat, vn.maxLat
+	if lr, ok := vn.perServer[link.server]; ok {
+		minLat, maxLat = lr.min, lr.max
+	}
+	dropP, corruptP, jitterMax, rate := vn.dropP, vn.corruptP, vn.jitterMax, vn.byteRate
+	vn.stats.chunks++
+	vn.stats.chunkBytes += uint64(size)
+
+	dir := uint64(0)
+	if link.toServer {
+		dir = 1 << 63
+	}
+	base := splitmix64(vn.seed ^ dir ^ (uint64(link.client)+3)<<40 ^ (uint64(link.server)+3)<<20 ^ seq)
+	v := chunkVerdict{corruptBit: -1, delay: minLat}
+	if maxLat > minLat {
+		v.delay = minLat + time.Duration(splitmix64(base^0x1A)%uint64(maxLat-minLat+1))
+	}
+	if jitterMax > 0 {
+		v.delay += time.Duration(unitFloat(splitmix64(base^0x03)) * float64(jitterMax))
+	}
+	if rate > 0 {
+		v.delay += time.Duration(int64(size) * int64(time.Second) / rate)
+	}
+	if dropP > 0 && unitFloat(splitmix64(base^0x0D)) < dropP {
+		v.drop = true
+		vn.stats.dropped++
+		vn.mu.Unlock()
+		return v
+	}
+	if corruptP > 0 && size > 0 && unitFloat(splitmix64(base^0x04)) < corruptP {
+		v.corruptBit = int64(splitmix64(base^0x05) % uint64(size*8))
+		vn.stats.corrupted++
+	}
+	vn.mu.Unlock()
+	return v
+}
+
+// unitFloat maps a decision word to [0, 1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// VListener is a virtual listener; it implements net.Listener.
+type VListener struct {
+	net *VirtualNet
+	id  quorum.ServerID
+
+	mu      sync.Mutex
+	queue   []*vconn
+	waiting bool
+	ch      chan struct{}
+	closed  bool
+}
+
+var _ net.Listener = (*VListener)(nil)
+
+// enqueue hands a server-side endpoint to the acceptor, reporting false if
+// the listener is closed.
+func (l *VListener) enqueue(c *vconn) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.queue = append(l.queue, c)
+	l.wakeLocked()
+	l.mu.Unlock()
+	return true
+}
+
+// wakeLocked wakes a parked acceptor; one tracked signal per waiter.
+func (l *VListener) wakeLocked() {
+	if l.waiting {
+		l.waiting = false
+		l.net.sched.NoteSend()
+		l.ch <- struct{}{}
+	}
+}
+
+// Accept implements net.Listener.
+func (l *VListener) Accept() (net.Conn, error) {
+	for {
+		l.mu.Lock()
+		if len(l.queue) > 0 {
+			c := l.queue[0]
+			l.queue = l.queue[1:]
+			l.mu.Unlock()
+			return c, nil
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return nil, net.ErrClosed
+		}
+		l.waiting = true
+		l.mu.Unlock()
+		unpark := l.net.sched.Park()
+		<-l.ch
+		unpark()
+		l.net.sched.NoteRecv()
+	}
+}
+
+// Close implements net.Listener. It stops Accept; the binding itself is
+// removed by VirtualNet.Deregister (a closed-but-bound listener models a
+// server that stopped accepting without leaving the membership: dials
+// fail with a reset rather than an unknown address).
+func (l *VListener) Close() error {
+	l.close()
+	return nil
+}
+
+func (l *VListener) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	pending := l.queue
+	l.queue = nil
+	l.wakeLocked()
+	l.mu.Unlock()
+	for _, c := range pending {
+		c.reset(errVConnReset)
+	}
+}
+
+// Addr implements net.Listener.
+func (l *VListener) Addr() net.Addr { return vAddr(fmt.Sprintf("virtual:%d", l.id)) }
+
+// vAddr is the net.Addr of virtual endpoints.
+type vAddr string
+
+func (a vAddr) Network() string { return "virtual" }
+func (a vAddr) String() string  { return string(a) }
+
+// vchunk is one scheduled unit of stream data (or a FIN).
+type vchunk struct {
+	seq  uint64
+	data []byte
+	fin  bool
+}
+
+// vconn is one endpoint of a virtual byte-stream pair. It implements
+// net.Conn. Reads block until scheduled delivery releases bytes (parked
+// under a SimClock); writes never block — they copy the chunk, consult the
+// fault plane, and schedule delivery on the clock.
+//
+// Both endpoints of a pair share one stream mutex (pmu): writes touch the
+// peer's pending queue and resets touch both ends, so a single lock keeps
+// the two directions from deadlocking against each other.
+type vconn struct {
+	net            *VirtualNet
+	client, server quorum.ServerID
+	toServer       bool // direction of this endpoint's writes
+	peer           *vconn
+
+	pmu *sync.Mutex // shared stream mutex, guards everything below on BOTH ends
+
+	pending []vchunk // written by peer, not yet released by the clock
+	readBuf []byte   // released, readable
+	eof     bool     // peer's FIN released
+	closed  bool     // local Close
+	rstErr  error    // fault-plane reset
+	waiting bool
+	readCh  chan struct{}
+
+	// writer-side scheduling state.
+	sendSeq     uint64
+	nextDeliver time.Time
+}
+
+var _ net.Conn = (*vconn)(nil)
+
+// Read implements net.Conn.
+func (c *vconn) Read(p []byte) (int, error) {
+	for {
+		c.pmu.Lock()
+		if err := c.rstErr; err != nil {
+			c.pmu.Unlock()
+			return 0, err
+		}
+		if c.closed {
+			c.pmu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if len(c.readBuf) > 0 {
+			n := copy(p, c.readBuf)
+			c.readBuf = c.readBuf[n:]
+			c.pmu.Unlock()
+			return n, nil
+		}
+		if c.eof {
+			c.pmu.Unlock()
+			return 0, io.EOF
+		}
+		c.waiting = true
+		c.pmu.Unlock()
+		unpark := c.net.sched.Park()
+		<-c.readCh
+		unpark()
+		c.net.sched.NoteRecv()
+	}
+}
+
+// wakeLocked wakes a parked reader; one tracked signal per waiter.
+func (c *vconn) wakeLocked() {
+	if c.waiting {
+		c.waiting = false
+		c.net.sched.NoteSend()
+		c.readCh <- struct{}{}
+	}
+}
+
+// Write implements net.Conn: consult the fault plane, copy the chunk, and
+// schedule its delivery at the peer. Delivery deadlines are monotone per
+// direction, so the stream never reorders internally even when jitter
+// varies across chunks.
+func (c *vconn) Write(p []byte) (int, error) {
+	c.pmu.Lock()
+	if err := c.writeErrLocked(); err != nil {
+		c.pmu.Unlock()
+		return 0, err
+	}
+	c.pmu.Unlock()
+
+	v := c.net.verdict(vlinkKey{client: c.client, server: c.server, toServer: c.toServer}, len(p))
+	if v.drop {
+		// A gap in a byte stream is unrecoverable for the framing behind
+		// it: surface the loss as a connection reset, the stream-transport
+		// analogue of ErrDropped.
+		c.reset(errVConnReset)
+		return 0, errVConnReset
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	if v.corruptBit >= 0 {
+		data[v.corruptBit/8] ^= 1 << (v.corruptBit % 8)
+	}
+	c.scheduleChunk(vchunk{data: data}, v.delay)
+	return len(p), nil
+}
+
+func (c *vconn) writeErrLocked() error {
+	if c.rstErr != nil {
+		return c.rstErr
+	}
+	if c.closed {
+		return net.ErrClosed
+	}
+	return nil
+}
+
+// scheduleChunk enqueues ch at the peer and arms its delivery timer.
+func (c *vconn) scheduleChunk(ch vchunk, delay time.Duration) {
+	now := c.net.clock.Now()
+	c.pmu.Lock()
+	if c.rstErr != nil { // reset raced the fault draw; nothing to deliver
+		c.pmu.Unlock()
+		return
+	}
+	c.sendSeq++
+	ch.seq = c.sendSeq
+	deliverAt := now.Add(delay)
+	if deliverAt.Before(c.nextDeliver) {
+		deliverAt = c.nextDeliver
+	}
+	c.nextDeliver = deliverAt
+	seq := ch.seq
+	peer := c.peer
+	peer.pending = append(peer.pending, ch)
+	c.pmu.Unlock()
+	c.net.clock.AfterFunc(deliverAt.Sub(now), func() { peer.arrive(seq) })
+}
+
+// arrive releases every pending chunk up to seq into the read buffer.
+// Release by sequence prefix keeps the stream ordered even if the
+// underlying timers fire out of order (wall clocks give no ordering
+// guarantee for equal deadlines).
+func (c *vconn) arrive(seq uint64) {
+	c.pmu.Lock()
+	for len(c.pending) > 0 && c.pending[0].seq <= seq {
+		ch := c.pending[0]
+		c.pending = c.pending[1:]
+		if ch.fin {
+			c.eof = true
+		} else {
+			c.readBuf = append(c.readBuf, ch.data...)
+		}
+	}
+	c.wakeLocked()
+	c.pmu.Unlock()
+}
+
+// Close implements net.Conn: local reads and writes fail from now on, and
+// a FIN is scheduled behind any bytes already in flight, so the peer
+// drains delivered data before seeing io.EOF — TCP's half-close ordering.
+func (c *vconn) Close() error {
+	c.pmu.Lock()
+	if c.closed || c.rstErr != nil {
+		c.pmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.wakeLocked()
+	c.pmu.Unlock()
+	// The FIN rides the normal delivery schedule (minimum latency for its
+	// link, no fault draws: losing a FIN could only stall the peer's read
+	// loop forever, which no real stack allows — timeouts reap it).
+	vn := c.net
+	vn.mu.Lock()
+	minLat := vn.minLat
+	if lr, ok := vn.perServer[c.server]; ok {
+		minLat = lr.min
+	}
+	vn.mu.Unlock()
+	c.scheduleChunk(vchunk{fin: true}, minLat)
+	c.net.dropConn(c)
+	return nil
+}
+
+// reset kills both endpoints immediately (TCP RST): buffered and in-flight
+// data is discarded, blocked readers wake with the error, writers fail.
+func (c *vconn) reset(err error) {
+	c.net.dropConn(c)
+	c.net.mu.Lock()
+	c.net.stats.resets++
+	c.net.mu.Unlock()
+	c.pmu.Lock()
+	for _, e := range [2]*vconn{c, c.peer} {
+		if e.rstErr == nil {
+			e.rstErr = err
+			e.pending = nil
+			e.readBuf = nil
+			e.wakeLocked()
+		}
+	}
+	c.pmu.Unlock()
+}
+
+// LocalAddr implements net.Conn.
+func (c *vconn) LocalAddr() net.Addr {
+	if c.toServer {
+		return vAddr(fmt.Sprintf("virtual:client:%d", c.client))
+	}
+	return vAddr(fmt.Sprintf("virtual:%d", c.server))
+}
+
+// RemoteAddr implements net.Conn.
+func (c *vconn) RemoteAddr() net.Addr {
+	if c.toServer {
+		return vAddr(fmt.Sprintf("virtual:%d", c.server))
+	}
+	return vAddr(fmt.Sprintf("virtual:client:%d", c.client))
+}
+
+// SetDeadline implements net.Conn. The virtual transport has no deadline
+// support (the TCP stack above it never sets one; cancellation rides the
+// per-call contexts and the client's call timeout instead).
+func (c *vconn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn.
+func (c *vconn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn.
+func (c *vconn) SetWriteDeadline(time.Time) error { return nil }

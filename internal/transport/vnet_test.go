@@ -1,0 +1,425 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/vtime"
+	"pqs/internal/wire"
+)
+
+// --- raw conn semantics (wall clock: the conn must behave like a socket
+// under either time source) ---------------------------------------------
+
+func vpair(t *testing.T, vn *VirtualNet, id quorum.ServerID) (client, server net.Conn) {
+	t.Helper()
+	l, err := vn.Listen(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	cl, err := vn.dial(ClientSource, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	return cl, sv
+}
+
+// TestVirtualConnSplitFrames writes one logical frame in several chunks and
+// reads it back through partial reads: the stream must reassemble exactly,
+// in order, regardless of chunk boundaries.
+func TestVirtualConnSplitFrames(t *testing.T) {
+	vn := NewVirtualNet(nil, 1)
+	cl, sv := vpair(t, vn, 7)
+	defer cl.Close()
+	defer sv.Close()
+
+	payload := []byte("length-prefixed frame split across many writes")
+	go func() {
+		for i := 0; i < len(payload); i += 5 {
+			end := i + 5
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := cl.Write(payload[i:end]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+		}
+	}()
+	got := make([]byte, 0, len(payload))
+	buf := make([]byte, 3) // deliberately tiny reads
+	for len(got) < len(payload) {
+		n, err := sv.Read(buf)
+		if err != nil {
+			t.Fatalf("read after %d bytes: %v", len(got), err)
+		}
+		got = append(got, buf[:n]...)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stream reassembled wrong:\n got %q\nwant %q", got, payload)
+	}
+}
+
+// TestVirtualConnHalfCloseMidFrame closes the writer with bytes still in
+// flight: the reader must drain every delivered byte BEFORE seeing io.EOF
+// (TCP's FIN ordering), even when the close lands mid-frame.
+func TestVirtualConnHalfCloseMidFrame(t *testing.T) {
+	vn := NewVirtualNet(nil, 2)
+	vn.SetLatency(time.Millisecond, 2*time.Millisecond)
+	cl, sv := vpair(t, vn, 3)
+	defer sv.Close()
+
+	// A "frame" whose writer dies after the length prefix and half the body.
+	if _, err := cl.Write([]byte{0x20}); err != nil { // prefix: 32-byte body
+		t.Fatal(err)
+	}
+	half := bytes.Repeat([]byte{0xAB}, 16)
+	if _, err := cl.Write(half); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	got, err := io.ReadAll(sv)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err) // io.EOF is swallowed by ReadAll
+	}
+	want := append([]byte{0x20}, half...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("reader saw %x, want the partial frame %x then EOF", got, want)
+	}
+	// And the local end is really closed.
+	if _, err := cl.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after close: %v, want net.ErrClosed", err)
+	}
+}
+
+// TestVirtualConnReset checks RST semantics: both ends fail promptly,
+// buffered data is discarded, and the error is transient.
+func TestVirtualConnReset(t *testing.T) {
+	vn := NewVirtualNet(nil, 3)
+	cl, sv := vpair(t, vn, 9)
+	if _, err := cl.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	vn.Crash(9)
+	if _, err := sv.Read(make([]byte, 8)); err == nil || !IsTransient(err) {
+		t.Fatalf("read on reset conn: %v, want transient error", err)
+	}
+	if _, err := cl.Write([]byte("x")); err == nil || !IsTransient(err) {
+		t.Fatalf("write on reset conn: %v, want transient error", err)
+	}
+	// Crashed address refuses dials until recovered.
+	if _, err := vn.dial(ClientSource, 9); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("dial crashed server: %v, want ErrCrashed", err)
+	}
+	vn.Recover(9)
+	if _, err := vn.dial(ClientSource, 9); err != nil {
+		t.Fatalf("dial after recover: %v", err)
+	}
+}
+
+// --- the full TCP stack over VirtualNet ---------------------------------
+
+// upperHandler replies with the request's key upper-cased, so the test can
+// verify end-to-end decode → handle → encode.
+type upperHandler struct{}
+
+func (upperHandler) Handle(_ context.Context, req any) (any, error) {
+	r, ok := req.(wire.ReadRequest)
+	if !ok {
+		return nil, fmt.Errorf("unexpected request %T", req)
+	}
+	return wire.ReadReply{Found: true, Value: []byte(strings.ToUpper(r.Key))}, nil
+}
+
+// startVirtualCluster stands up n TCP servers over vn and a client that
+// reaches them, all on clk.
+func startVirtualCluster(t testing.TB, vn *VirtualNet, clk vtime.Clock, n int, timeout time.Duration) (*TCPClient, []*TCPServer) {
+	t.Helper()
+	servers := make([]*TCPServer, 0, n)
+	addrs := make(map[quorum.ServerID]string, n)
+	for i := 0; i < n; i++ {
+		id := quorum.ServerID(i)
+		l, err := vn.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, ServeListener(l, upperHandler{}, TCPOptions{Clock: clk}))
+		addrs[id] = l.Addr().String()
+	}
+	client := NewTCPClientOpts(addrs, TCPClientOptions{
+		Clock:       clk,
+		Dial:        vn.Dialer(ClientSource),
+		CallTimeout: timeout,
+	})
+	return client, servers
+}
+
+// TestVirtualTCPRoundTripSimClock runs the real TCP stack — framing, binary
+// codec, group-commit flusher, worker pool — over virtual-time byte streams
+// inside a SimClock, with per-chunk latency. The run must complete
+// instantly in wall time while covering real virtual duration.
+func TestVirtualTCPRoundTripSimClock(t *testing.T) {
+	sc := vtime.NewSimClock()
+	var elapsed time.Duration
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 42)
+		vn.SetLatency(5*time.Millisecond, 20*time.Millisecond)
+		client, servers := startVirtualCluster(t, vn, sc, 4, time.Second)
+		ctx := context.Background()
+		for round := 0; round < 5; round++ {
+			for id := 0; id < 4; id++ {
+				resp, err := client.Call(ctx, quorum.ServerID(id), wire.ReadRequest{Key: fmt.Sprintf("k%d-%d", round, id)})
+				if err != nil {
+					t.Errorf("call %d/%d: %v", round, id, err)
+					continue
+				}
+				want := strings.ToUpper(fmt.Sprintf("k%d-%d", round, id))
+				if rr := resp.(wire.ReadReply); string(rr.Value) != want {
+					t.Errorf("call %d/%d: got %q want %q", round, id, rr.Value, want)
+				}
+			}
+		}
+		client.Close()
+		for _, s := range servers {
+			s.Close()
+		}
+	})
+	elapsed = sc.Elapsed()
+	if elapsed < 50*time.Millisecond {
+		t.Fatalf("virtual elapsed %v; latency is not reaching the byte streams", elapsed)
+	}
+	t.Logf("20 RPCs covered %v virtual", elapsed)
+}
+
+// TestVirtualTCPDeterminism replays the same seeded workload twice over the
+// virtual TCP stack and requires identical virtual-time traces: per-call
+// completion timestamps AND the byte/chunk counters of the network — the
+// data plane's replay contract at byte granularity.
+func TestVirtualTCPDeterminism(t *testing.T) {
+	type trace struct {
+		stamps []time.Duration
+		chunks uint64
+		bytes  uint64
+	}
+	run := func() trace {
+		sc := vtime.NewSimClock()
+		var tr trace
+		sc.Run(func() {
+			vn := NewVirtualNet(sc, 7)
+			vn.SetLatency(time.Millisecond, 9*time.Millisecond)
+			vn.SetJitter(500 * time.Microsecond)
+			client, servers := startVirtualCluster(t, vn, sc, 6, time.Second)
+			ctx := context.Background()
+			for i := 0; i < 30; i++ {
+				id := quorum.ServerID(i % 6)
+				if _, err := client.Call(ctx, id, wire.ReadRequest{Key: fmt.Sprintf("k%d", i)}); err != nil {
+					t.Errorf("call %d: %v", i, err)
+				}
+				tr.stamps = append(tr.stamps, sc.Elapsed())
+			}
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+			st := vn.Stats()
+			tr.chunks, tr.bytes = st.Chunks, st.ChunkBytes
+		})
+		return tr
+	}
+	a, b := run(), run()
+	if a.chunks != b.chunks || a.bytes != b.bytes {
+		t.Fatalf("chunk traffic diverged: %d/%dB vs %d/%dB", a.chunks, a.bytes, b.chunks, b.bytes)
+	}
+	for i := range a.stamps {
+		if a.stamps[i] != b.stamps[i] {
+			t.Fatalf("call %d completed at %v vs %v: virtual TCP is not replaying", i, a.stamps[i], b.stamps[i])
+		}
+	}
+	t.Logf("30 calls, %d chunks (%d bytes) replayed bit-identically", a.chunks, a.bytes)
+}
+
+// TestVirtualTCPServerCloseWithBufferedFlusher closes the server while a
+// reply is still buffered in a connection's group-commit flusher: teardown
+// must not deadlock or leak goroutines, and the client must observe a
+// transient failure, not a hang. (The flusher's shutdown path drains its
+// kick channel; this is its regression.)
+func TestVirtualTCPServerCloseWithBufferedFlusher(t *testing.T) {
+	base := runtime.NumGoroutine()
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 11)
+		client, servers := startVirtualCluster(t, vn, sc, 1, 100*time.Millisecond)
+		ctx := context.Background()
+		// Prime the connection.
+		if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "warm"}); err != nil {
+			t.Errorf("warm call: %v", err)
+		}
+		// Close the server immediately after issuing a call; whatever state
+		// the flusher is in (reply buffered, kick pending), teardown must
+		// converge and the call must resolve with an error or a reply.
+		done := make(chan struct{})
+		sc.Go(func() {
+			defer func() {
+				sc.NoteSend()
+				close(done)
+			}()
+			_, err := client.Call(ctx, 0, wire.ReadRequest{Key: "racing"})
+			if err != nil && !IsTransient(err) {
+				t.Errorf("racing call failed non-transiently: %v", err)
+			}
+		})
+		servers[0].Close()
+		unpark := sc.Park()
+		<-done
+		unpark()
+		sc.NoteRecv()
+		client.Close()
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		buf := make([]byte, 1<<16)
+		t.Fatalf("%d goroutines leaked past teardown:\n%s", n-base, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestVirtualTCPCallTimeout poisons a server's reply stream (every reply id
+// corrupted via byte-level corruption is hard to aim; instead the server is
+// blocked after the request leaves) and checks that the clock-driven call
+// timeout fires deterministically instead of hanging the virtual world.
+func TestVirtualTCPCallTimeout(t *testing.T) {
+	sc := vtime.NewSimClock()
+	var elapsed time.Duration
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 13)
+		// A server that never replies: its handler parks on a timer far in
+		// the future relative to the call timeout.
+		l, err := vn.Listen(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stall := ServeListener(l, HandlerFunc(func(ctx context.Context, req any) (any, error) {
+			sc.Sleep(time.Hour)
+			return wire.ReadReply{}, nil
+		}), TCPOptions{Clock: sc})
+		client := NewTCPClientOpts(map[quorum.ServerID]string{0: l.Addr().String()}, TCPClientOptions{
+			Clock: sc, Dial: vn.Dialer(ClientSource), CallTimeout: 50 * time.Millisecond,
+		})
+		start := sc.Elapsed()
+		_, err = client.Call(context.Background(), 0, wire.ReadRequest{Key: "void"})
+		elapsed = sc.Elapsed() - start
+		if err == nil || !IsTransient(err) {
+			t.Errorf("call into stalled server: %v, want transient timeout", err)
+		}
+		var nerr net.Error
+		if !errors.As(err, &nerr) || !nerr.Timeout() {
+			t.Errorf("timeout error does not report Timeout(): %v", err)
+		}
+		client.Close()
+		// Close waits out the handler's hour-long sleep — virtual time, so
+		// it completes instantly while proving teardown converges even with
+		// a handler mid-sleep.
+		stall.Close()
+	})
+	if elapsed != 50*time.Millisecond {
+		t.Fatalf("timeout fired after %v, want exactly the 50ms call timeout", elapsed)
+	}
+}
+
+// FuzzVNetFaultInjector drives arbitrary payloads and fault probabilities
+// through a virtual conn pair and asserts the stream invariants: without a
+// reset the reader sees exactly len(payload) bytes in write order (bit
+// flips change content, never length or order), and with a reset both ends
+// fail transiently — the injector can kill a stream but never corrupt its
+// framing silently or panic.
+func FuzzVNetFaultInjector(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), []byte("hello virtual wire"))
+	f.Add(int64(7), uint8(40), uint8(0), []byte("droppy"))
+	f.Add(int64(9), uint8(0), uint8(200), bytes.Repeat([]byte{0x5A}, 300))
+	f.Add(int64(3), uint8(25), uint8(25), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, dropP, corruptP uint8, payload []byte) {
+		vn := NewVirtualNet(nil, seed)
+		vn.SetDrop(float64(dropP) / 255 / 2)       // up to ~0.5
+		vn.SetCorrupt(float64(corruptP) / 255 / 2) // up to ~0.5
+		vn.SetLatency(0, time.Microsecond)
+		l, err := vn.Listen(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		accepted := make(chan net.Conn, 1)
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				accepted <- c
+			} else {
+				close(accepted)
+			}
+		}()
+		cl, err := vn.dial(ClientSource, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, ok := <-accepted
+		if !ok {
+			t.Fatal("accept failed")
+		}
+		defer sv.Close()
+
+		writeErr := make(chan error, 1)
+		go func() {
+			var werr error
+			for i := 0; i < len(payload) && werr == nil; i += 7 {
+				end := i + 7
+				if end > len(payload) {
+					end = len(payload)
+				}
+				_, werr = cl.Write(payload[i:end])
+			}
+			if werr == nil {
+				cl.Close()
+			}
+			writeErr <- werr
+		}()
+
+		got, rerr := io.ReadAll(sv)
+		werr := <-writeErr
+		if werr == nil && rerr == nil {
+			if len(got) != len(payload) {
+				t.Fatalf("no fault surfaced but stream length changed: wrote %d read %d", len(payload), len(got))
+			}
+		} else {
+			// A surfaced fault must be the reset, and it must be transient.
+			for _, e := range []error{werr, rerr} {
+				if e != nil && !IsTransient(e) {
+					t.Fatalf("fault surfaced as non-transient error: %v", e)
+				}
+			}
+		}
+	})
+}

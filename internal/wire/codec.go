@@ -24,7 +24,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"pqs/internal/ts"
 )
@@ -53,31 +52,12 @@ var (
 	ErrUnknownTag = errors.New("wire: unknown message tag")
 )
 
-// CodecStats counts binary codec activity process-wide; see Stats.
-type CodecStats struct {
-	// MessagesEncoded and MessagesDecoded count binary-codec message bodies
-	// (envelope payloads), not frames; the transport counts frames.
-	MessagesEncoded uint64
-	MessagesDecoded uint64
-	// BytesEncoded and BytesDecoded count message-body bytes through the
-	// binary codec.
-	BytesEncoded uint64
-	BytesDecoded uint64
-}
-
-var codecStats struct {
-	msgEnc, msgDec, byteEnc, byteDec atomic.Uint64
-}
-
-// Stats returns a snapshot of the process-wide binary codec counters.
-func Stats() CodecStats {
-	return CodecStats{
-		MessagesEncoded: codecStats.msgEnc.Load(),
-		MessagesDecoded: codecStats.msgDec.Load(),
-		BytesEncoded:    codecStats.byteEnc.Load(),
-		BytesDecoded:    codecStats.byteDec.Load(),
-	}
-}
+// Codec activity counters live with the transport now, one set per
+// connection (transport.ConnCodecStats): the process-wide atomics this
+// package used to bump on every encode and decode were a single cache line
+// shared by every connection in the process — measurable contention on the
+// hot path, and useless for attributing traffic. The codec itself is
+// counter-free.
 
 // bufPool recycles encode scratch buffers across calls and connections.
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
@@ -358,7 +338,7 @@ func (m *PingReply) DecodeFrom(b []byte) ([]byte, error) {
 // types outside the 8 wire messages (the binary codec is deliberately
 // closed; see the versioning rule in the package doc).
 func AppendMessage(b []byte, msg any) ([]byte, error) {
-	start := len(b)
+
 	switch m := msg.(type) {
 	case ReadRequest:
 		b = m.AppendTo(append(b, TagReadRequest))
@@ -379,8 +359,6 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 	default:
 		return b, fmt.Errorf("wire: cannot binary-encode %T", msg)
 	}
-	codecStats.msgEnc.Add(1)
-	codecStats.byteEnc.Add(uint64(len(b) - start))
 	return b, nil
 }
 
@@ -436,8 +414,6 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	codecStats.msgDec.Add(1)
-	codecStats.byteDec.Add(uint64(len(b) - len(rest)))
 	return msg, rest, nil
 }
 
