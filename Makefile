@@ -1,8 +1,8 @@
 # Tier-1 verification and developer shortcuts. CI (.github/workflows/ci.yml)
 # runs these same targets on every push: `make ci` is the tier1 job, and the
-# chaos-short / chaos-tcp / sim-fast / fuzz-smoke / bench-regress targets
-# back the remaining jobs one-for-one, so a green `make ci-full` locally
-# means a green wall.
+# lint / chaos-short / chaos-tcp / sim-fast / fuzz-smoke / bench-regress
+# targets back the remaining jobs one-for-one, so a green `make ci-full`
+# locally means a green wall.
 
 GO ?= go
 
@@ -10,7 +10,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast
+.PHONY: all build test vet lint race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast
 
 all: ci
 
@@ -23,6 +23,13 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The determinism lint wall (internal/lint): wallclock, rawgo, globalrand,
+# lockspan, epsblind plus the bundled vet-lite passes, with mandatory-reason
+# //pqslint:allow suppressions. Must exit 0 on the whole tree; see the
+# "Static analysis & determinism invariants" section of README.md.
+lint:
+	$(GO) run ./cmd/pqs-lint ./...
+
 race:
 	$(GO) test -race ./internal/register/ ./internal/transport/ ./internal/quorum/ ./internal/replica/ ./internal/chaos/ ./internal/diffusion/
 
@@ -30,8 +37,9 @@ race:
 # checkout.
 tier1: build test
 
-# ci mirrors the CI tier1 job exactly (vet, build, test, race, bench-smoke).
-ci: vet tier1 race bench-smoke
+# ci mirrors the CI tier1 job exactly (vet, lint, build, test, race,
+# bench-smoke).
+ci: vet lint tier1 race bench-smoke
 
 # ci-full runs every CI job locally.
 ci-full: ci chaos-short chaos-tcp sim-fast fuzz-smoke bench-regress

@@ -3,7 +3,6 @@ package pqs
 import (
 	"encoding/json"
 	"net/http"
-	"time"
 
 	"pqs/internal/replica"
 	"pqs/internal/transport"
@@ -43,7 +42,7 @@ func (s *Server) Stats() ServerStats {
 		ID:            int(s.rep.ID()),
 		Addr:          s.srv.Addr(),
 		Codec:         s.srv.Codec().String(),
-		UptimeSeconds: time.Since(s.started).Seconds(),
+		UptimeSeconds: s.clock.Since(s.started).Seconds(),
 		Store:         s.rep.Store().Stats(),
 		Transport:     tstats,
 		WireCodec:     tstats.Codec,

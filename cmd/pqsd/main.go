@@ -47,9 +47,14 @@ func run() error {
 	peers := flag.String("peers", "", "comma-separated id=host:port peers for gossip (optional)")
 	fanout := flag.Int("fanout", 1, "gossip peers contacted per round")
 	interval := flag.Duration("gossip-interval", time.Second, "gossip round period")
+	seed := flag.Int64("diffusion-seed", 0, "seed for gossip peer selection (0 draws from crypto/rand)")
 	flag.Parse()
 
-	srv, err := pqs.ListenAndServe(*id, *listen)
+	srv, err := pqs.ListenAndServeConfig(pqs.ServerConfig{
+		ID:            *id,
+		Addr:          *listen,
+		DiffusionSeed: *seed,
+	})
 	if err != nil {
 		return err
 	}

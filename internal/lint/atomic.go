@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Atomic is a lite reimplementation of vet's atomic pass: it flags
+//
+//	x = atomic.AddUint64(&x, 1)
+//
+// — assigning an atomic read-modify-write's result back to its own operand
+// with a plain (non-atomic) store, which re-introduces exactly the race
+// the atomic call was meant to close.
+var Atomic = &Analyzer{
+	Name: "atomic",
+	Doc:  "flag x = atomic.AddT(&x, ...) style plain stores of atomic results (vet-lite)",
+	Run:  runAtomic,
+}
+
+func runAtomic(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				fn := funcOf(info, call.Fun)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					continue
+				}
+				if !strings.HasPrefix(fn.Name(), "Add") && !strings.HasPrefix(fn.Name(), "Swap") {
+					continue
+				}
+				addr, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				if exprString(addr.X) == exprString(as.Lhs[i]) {
+					pass.Reportf(as.Pos(),
+						"direct assignment of atomic.%s result to %s races with the atomic operation",
+						fn.Name(), exprString(as.Lhs[i]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

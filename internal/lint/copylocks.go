@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Copylocks is a lite reimplementation of vet's copylocks pass (bundled
+// here because the container has no module proxy for x/tools): it flags
+// values containing sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once,
+// sync.Cond, sync.Pool or sync.Map being copied — as function parameters
+// or results declared by value, as assignments from existing values, as
+// call arguments, or as range values. A copied lock guards nothing.
+var Copylocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag by-value copies of types containing sync primitives (vet-lite)",
+	Run:  runCopylocks,
+}
+
+// syncLockTypes are the sync types whose copy is always a bug.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports whether t holds a sync primitive by value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.Named:
+		obj := t.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(t.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLock(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(t.Elem(), seen)
+	}
+	return false
+}
+
+// copiesLock reports whether evaluating e as a value copies a lock: e names
+// an existing lock-containing value (identifier, field, dereference, or
+// element). Composite literals and calls construct fresh values — vet
+// accepts those.
+func copiesLock(info *types.Info, e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return containsLock(tv.Type, map[types.Type]bool{})
+}
+
+// exprType resolves e's type, looking through Defs for the identifiers a
+// `for i, v := range` clause declares (go/types records those as
+// definitions, not value expressions).
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if id, ok := e.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func runCopylocks(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				for _, fl := range []*ast.FieldList{n.Params, n.Results} {
+					if fl == nil {
+						continue
+					}
+					for _, field := range fl.List {
+						tv, ok := info.Types[field.Type]
+						if !ok || tv.Type == nil {
+							continue
+						}
+						if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+							continue
+						}
+						if containsLock(tv.Type, map[types.Type]bool{}) {
+							pass.Reportf(field.Type.Pos(), "%s passes a lock by value: use a pointer", exprString(field.Type))
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Assigning to _ stores nothing; vet accepts it too.
+					if len(n.Lhs) == len(n.Rhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					if copiesLock(info, rhs) {
+						pass.Reportf(rhs.Pos(), "assignment copies a lock value: %s", exprString(rhs))
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					// new(sync.Mutex) / make(...) name the type, not a value.
+					if tv, ok := info.Types[arg]; ok && tv.IsType() {
+						continue
+					}
+					if copiesLock(info, arg) {
+						pass.Reportf(arg.Pos(), "call passes a lock by value: %s", exprString(arg))
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					if copiesLock(info, r) {
+						pass.Reportf(r.Pos(), "return copies a lock value: %s", exprString(r))
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprType(info, n.Value); t != nil && containsLock(t, map[types.Type]bool{}) {
+						pass.Reportf(n.Value.Pos(), "range value copies a lock: range over indices or pointers instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an in-source suppression:
+//
+//	//pqslint:allow <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it. The reason is
+// mandatory: a suppression that cannot say why it exists is a suppression
+// nobody can audit, and the whole point of the suite is that the
+// determinism invariants are auditable.
+const directivePrefix = "pqslint:allow"
+
+// directive is one parsed //pqslint:allow comment.
+type directive struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// directiveIndex holds a package's suppressions keyed by file:line, plus
+// the diagnostics produced while parsing them (missing reason, unknown
+// analyzer).
+type directiveIndex struct {
+	// byLine maps "filename:line" to the directives governing that line.
+	byLine map[string][]*directive
+	diags  []Diagnostic
+}
+
+// collectDirectives parses every //pqslint:allow comment in the package.
+// known is the set of analyzer names the driver is running with; an
+// unknown name is reported (it is a typo or a stale suppression, and
+// either way it silences nothing).
+func collectDirectives(pkg *Package, known map[string]bool) *directiveIndex {
+	idx := &directiveIndex{byLine: map[string][]*directive{}}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					idx.diags = append(idx.diags, Diagnostic{
+						Analyzer: "pqslint",
+						Pos:      pos,
+						Message:  "malformed directive: //pqslint:allow requires an analyzer name and a reason",
+					})
+					continue
+				}
+				name := fields[0]
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name))
+				if reason == "" {
+					idx.diags = append(idx.diags, Diagnostic{
+						Analyzer: "pqslint",
+						Pos:      pos,
+						Message:  "//pqslint:allow " + name + " is missing its mandatory reason",
+					})
+					continue
+				}
+				if !known[name] {
+					idx.diags = append(idx.diags, Diagnostic{
+						Analyzer: "pqslint",
+						Pos:      pos,
+						Message:  "//pqslint:allow names unknown analyzer " + name,
+					})
+					continue
+				}
+				d := &directive{analyzer: name, reason: reason, pos: pos}
+				key := lineKey(pos.Filename, pos.Line)
+				idx.byLine[key] = append(idx.byLine[key], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a directive for analyzer covers the line d
+// sits on (same line or the line above), marking it used.
+func (idx *directiveIndex) suppresses(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range idx.byLine[lineKey(d.Pos.Filename, line)] {
+			if dir.analyzer == d.Analyzer {
+				dir.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unused reports directives that suppressed nothing, but only for analyzers
+// in ran — when the driver runs a subset (pqs-lint -only, or a single
+// analyzer's test), directives for the others are not stale, just idle.
+func (idx *directiveIndex) unused(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dirs := range idx.byLine {
+		for _, d := range dirs {
+			if !d.used && ran[d.analyzer] {
+				out = append(out, Diagnostic{
+					Analyzer: "pqslint",
+					Pos:      d.pos,
+					Message:  "unused //pqslint:allow " + d.analyzer + " directive (nothing to suppress here)",
+				})
+			}
+		}
+	}
+	return out
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+// itoa avoids strconv for this one hot, tiny call.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}

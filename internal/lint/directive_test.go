@@ -1,0 +1,72 @@
+package lint
+
+// The directive fixture can't carry `// want` comments — a directive and a
+// line comment can't share a line — so this test asserts on the returned
+// diagnostics directly.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDirectives(t *testing.T) {
+	diags, _ := loadFixture(t, "directive", Rawgo)
+
+	has := func(analyzer, substr string) bool {
+		for _, d := range diags {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// A well-formed directive suppresses the rawgo finding under it; the
+	// other four bare go statements and directive problems all surface.
+	rawgoCount := 0
+	for _, d := range diags {
+		if d.Analyzer == "rawgo" {
+			rawgoCount++
+		}
+	}
+	if rawgoCount != 2 {
+		t.Errorf("want 2 surviving rawgo findings (missingReason, unknownAnalyzer), got %d", rawgoCount)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "rawgo" && d.Pos.Line <= 11 {
+			t.Errorf("suppressed go statement still reported: %s", d.String())
+		}
+	}
+
+	if !has("pqslint", "missing its mandatory reason") {
+		t.Error("reason-less directive not reported")
+	}
+	if !has("pqslint", "unknown analyzer gofmt") {
+		t.Error("unknown-analyzer directive not reported")
+	}
+	if !has("pqslint", "unused //pqslint:allow rawgo") {
+		t.Error("unused directive not reported")
+	}
+	if !has("pqslint", "malformed directive") {
+		t.Error("malformed directive not reported")
+	}
+
+	if got := len(diags); got != 6 {
+		for _, d := range diags {
+			t.Logf("  %s", d.String())
+		}
+		t.Errorf("want exactly 6 diagnostics, got %d", got)
+	}
+}
+
+// TestDirectiveUnusedOnlyForRanAnalyzers: a directive for an analyzer the
+// driver is not running is idle, not stale — running only wallclock over
+// the same fixture must not report the rawgo directives as unused.
+func TestDirectiveUnusedOnlyForRanAnalyzers(t *testing.T) {
+	diags, _ := loadFixture(t, "directive", Wallclock)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused //pqslint:allow") {
+			t.Errorf("idle directive reported as unused: %s", d.String())
+		}
+	}
+}

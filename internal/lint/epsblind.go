@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// epsblindTargets matches the register functions that make up the
+// hedge-delay and spare-promotion paths. The ε-preservation argument
+// (PR 1's promotion analysis, re-proved for adaptive hedging in PR 4)
+// requires these paths to be identity-blind: a spare is dispatched on
+// observed failure or on a timer, never because of WHICH servers are in
+// the access set — that conditioning is what keeps the completing quorum
+// the strategy's sample conditioned on liveness, so Theorems 3.2/4.2/5.2
+// still bound ε. Branching on a server identity anywhere in these
+// functions silently voids the theorem.
+var epsblindTargets = regexp.MustCompile(`(?i)hedge|promote|spare|gather|dispatch|delay`)
+
+// epsblindAllowed are the observability accessors that legitimately touch
+// per-server state: they record and expose per-server latency EWMAs but
+// feed nothing back into hedging decisions.
+var epsblindAllowed = map[string]bool{
+	"observe":         true,
+	"ServerLatencies": true,
+}
+
+// Epsblind mechanizes the identity-blindness invariant in
+// internal/register: within the hedge/spare-path functions it flags
+// comparisons on server identities, switches over them, per-server map
+// reads, and identity-to-scalar conversions. Writes (recording an error
+// under the failing server's id) and passing identities along to calls are
+// fine — it is *deciding* based on identity that breaks the argument.
+var Epsblind = &Analyzer{
+	Name: "epsblind",
+	Doc: "in internal/register's hedge-delay and spare-promotion paths, forbid branching " +
+		"on server identities outside the allowlisted observability accessors (ε-preservation)",
+	Run: runEpsblind,
+}
+
+func runEpsblind(pass *Pass) error {
+	if !pathHasSuffix(pass.Pkg.PkgPath, "internal/register") {
+		return nil
+	}
+	lhsOnly := lhsIndexExprs(pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsblindAllowed[fd.Name.Name] || !epsblindTargets.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkEpsblind(pass, fd, lhsOnly)
+		}
+	}
+	return nil
+}
+
+// lhsIndexExprs collects the IndexExprs that appear only as assignment
+// targets (m[id] = v): pure writes record state, they do not branch on it.
+func lhsIndexExprs(files []*ast.File) map[*ast.IndexExpr]bool {
+	set := map[*ast.IndexExpr]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					set[ix] = true
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+func checkEpsblind(pass *Pass, fd *ast.FuncDecl, lhsOnly map[*ast.IndexExpr]bool) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if isServerID(info, n.X) || isServerID(info, n.Y) {
+					pass.Reportf(n.Pos(),
+						"comparison on server identity in hedge/spare path %s: hedging must stay identity-blind (ε-preservation)", name)
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && isServerID(info, n.Tag) {
+				pass.Reportf(n.Pos(),
+					"switch over server identity in hedge/spare path %s: hedging must stay identity-blind (ε-preservation)", name)
+			}
+		case *ast.IndexExpr:
+			if lhsOnly[n] {
+				return true
+			}
+			t, ok := info.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := t.Type.Underlying().(*types.Map); isMap && isServerID(info, n.Index) {
+				pass.Reportf(n.Pos(),
+					"per-server map read in hedge/spare path %s: only the allowlisted observability accessors may consult per-server state", name)
+			}
+		case *ast.CallExpr:
+			if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 && isServerID(info, n.Args[0]) {
+				if _, isBasic := tv.Type.Underlying().(*types.Basic); isBasic {
+					pass.Reportf(n.Pos(),
+						"server identity converted to a scalar in hedge/spare path %s: identity must not leak into hedging arithmetic", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isServerID reports whether e's type is the quorum package's ServerID.
+func isServerID(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "ServerID" && obj.Pkg() != nil &&
+		pathHasSuffix(obj.Pkg().Path(), "internal/quorum")
+}

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Loopclosure is a lite reimplementation of vet's loopclosure pass. Under
+// go1.22+ semantics loop variables are per-iteration and the classic bug
+// cannot happen, so the pass only applies when the enclosing module's go
+// directive selects pre-1.22 semantics — it is bundled so the suite stays
+// correct if a fixture module (or a future vendored subtree) pins an older
+// language version.
+var Loopclosure = &Analyzer{
+	Name: "loopclosure",
+	Doc:  "flag pre-go1.22 loop variables captured by go/defer func literals (vet-lite)",
+	Run:  runLoopclosure,
+}
+
+func runLoopclosure(pass *Pass) error {
+	if !pass.Pkg.langBelow122(false) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vars := map[types.Object]bool{}
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				body = n.Body
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if obj := info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = n.Body
+				if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, e := range init.Lhs {
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			if len(vars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				var lit *ast.FuncLit
+				switch m := m.(type) {
+				case *ast.GoStmt:
+					lit, _ = m.Call.Fun.(*ast.FuncLit)
+				case *ast.DeferStmt:
+					lit, _ = m.Call.Fun.(*ast.FuncLit)
+				}
+				if lit == nil {
+					return true
+				}
+				ast.Inspect(lit.Body, func(u ast.Node) bool {
+					if id, ok := u.(*ast.Ident); ok {
+						if obj := info.Uses[id]; obj != nil && vars[obj] {
+							pass.Reportf(id.Pos(),
+								"loop variable %s captured by func literal (per-loop semantics before go1.22)", id.Name)
+						}
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

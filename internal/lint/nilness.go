@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is a lite, syntax-directed take on the x/tools nilness pass
+// (which needs SSA, unavailable here): it flags dereferences of a pointer
+// inside the branch where a nil check just proved it nil —
+//
+//	if p == nil { use(p.field) }        // flagged
+//	if p != nil { ... } else { *p = v } // flagged
+//
+// Scanning stops at the first statement that reassigns the pointer, so the
+// `if p == nil { p = newP() }; p.f` repair idiom stays clean. Only field
+// selections and explicit dereferences are flagged — method calls on nil
+// receivers are legal Go and some types support them deliberately.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "flag pointer dereferences in branches where the pointer is provably nil (vet-lite)",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			ptr, op := nilCheckedPtr(info, ifs.Cond)
+			if ptr == "" {
+				return true
+			}
+			var nilBranch *ast.BlockStmt
+			switch op {
+			case token.EQL:
+				nilBranch = ifs.Body
+			case token.NEQ:
+				nilBranch, _ = ifs.Else.(*ast.BlockStmt)
+			}
+			if nilBranch == nil {
+				return true
+			}
+			for _, st := range nilBranch.List {
+				if assignsTo(st, ptr) {
+					break
+				}
+				reportNilDeref(pass, st, ptr)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilCheckedPtr recognizes `x == nil` / `x != nil` where x is a
+// pointer-typed identifier or selector, returning its rendering and the
+// comparison operator.
+func nilCheckedPtr(info *types.Info, cond ast.Expr) (string, token.Token) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", token.ILLEGAL
+	}
+	x, y := be.X, be.Y
+	if !isNilIdent(info, y) {
+		if !isNilIdent(info, x) {
+			return "", token.ILLEGAL
+		}
+		x = y
+	}
+	switch x.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return "", token.ILLEGAL
+	}
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return "", token.ILLEGAL
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+		return "", token.ILLEGAL
+	}
+	return exprString(x), be.Op
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// assignsTo reports whether st (at its top level) assigns a new value to
+// the expression rendered as ptr.
+func assignsTo(st ast.Stmt, ptr string) bool {
+	as, ok := st.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if exprString(lhs) == ptr {
+			return true
+		}
+	}
+	return false
+}
+
+// reportNilDeref flags field selections and explicit dereferences of ptr
+// within st. Function literals are skipped (they run later, possibly after
+// the pointer is set).
+func reportNilDeref(pass *Pass, st ast.Stmt, ptr string) {
+	info := pass.TypesInfo
+	ast.Inspect(st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if exprString(n.X) == ptr {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil in this branch", ptr)
+			}
+		case *ast.SelectorExpr:
+			if exprString(n.X) != ptr {
+				return true
+			}
+			if sel, ok := info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				pass.Reportf(n.Pos(), "nil dereference: %s is nil in this branch", ptr)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// rawgoScoped lists the packages whose goroutines must be enrolled with the
+// SimClock scheduler: exactly the layers PRs 4–5 threaded vtime through.
+// An unenrolled goroutine is invisible to quiescence detection — the clock
+// advances while its work is still in flight, and the deterministic event
+// order (and with it byte-for-byte replay) is gone.
+var rawgoScoped = []string{
+	"internal/transport",
+	"internal/register",
+	"internal/chaos",
+	"internal/diffusion",
+	"internal/sim",
+}
+
+// Rawgo forbids bare go statements in the virtual-time-enrolled packages.
+// Spawns go through vtime.Sched.Go (or Clock.AfterFunc), which registers
+// the worker under a SimClock and degrades to a plain go statement under
+// the wall clock. The one legitimate bare spawn — a wall-clock-only
+// fallback branch that runs precisely when there is no SimClock to enroll
+// with — carries a //pqslint:allow rawgo directive saying so.
+var Rawgo = &Analyzer{
+	Name: "rawgo",
+	Doc: "forbid bare go statements in internal/{transport,register,chaos,diffusion,sim}; " +
+		"spawn through vtime.Sched.Go/Clock.AfterFunc so SimClock quiescence detection sees the worker",
+	Run: runRawgo,
+}
+
+func runRawgo(pass *Pass) error {
+	scoped := false
+	for _, suffix := range rawgoScoped {
+		if pathHasSuffix(pass.Pkg.PkgPath, suffix) {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement in virtual-time-enrolled package %s: spawn via vtime.Sched.Go so SimClock tracks the worker",
+					pass.Pkg.PkgPath)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow is a lite reimplementation of vet's shadow pass, tuned one notch
+// quieter than stock: a declaration shadowing an outer variable is
+// reported only when the types are identical (so the inner one could
+// plausibly be mistaken for the outer), the outer variable is still used
+// after the shadowing scope ends, and the shadow is NOT the
+// `if v, err := f(); err != nil` guard idiom — init-clause shadows are
+// scoped to the statement by construction and are universal Go style.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "flag declarations that shadow an outer variable of identical type that is used afterwards (vet-lite)",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	info := pass.TypesInfo
+	pkgScope := pass.Types.Scope()
+	writes := writeIdents(pass.Files)
+	for _, f := range pass.Files {
+		inits := initClauseStmts(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.DEFINE || inits[as] {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil || obj.Parent() == nil {
+					continue
+				}
+				inner := obj.Parent()
+				prev := outerShadowed(pkgScope, inner, id.Name, obj.Pos())
+				if prev == nil || !types.Identical(prev.Type(), obj.Type()) {
+					continue
+				}
+				if misreadAfter(info, writes, prev, inner.End()) {
+					pass.Reportf(id.Pos(),
+						"declaration of %q shadows declaration at line %d, and the outer variable is read after this scope",
+						id.Name, pass.Fset.Position(prev.Pos()).Line)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// initClauseStmts collects the statements appearing as the Init clause of
+// an if/for/switch — the guard-idiom declarations Shadow exempts.
+func initClauseStmts(f *ast.File) map[ast.Stmt]bool {
+	set := map[ast.Stmt]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Init != nil {
+				set[n.Init] = true
+			}
+		case *ast.ForStmt:
+			if n.Init != nil {
+				set[n.Init] = true
+			}
+		case *ast.SwitchStmt:
+			if n.Init != nil {
+				set[n.Init] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if n.Init != nil {
+				set[n.Init] = true
+			}
+		}
+		return true
+	})
+	return set
+}
+
+// outerShadowed finds a function-local variable named name declared before
+// pos in a scope strictly enclosing inner (stopping short of package and
+// universe scope — shadowing a package-level variable inside one function
+// is the universal `err := ...` idiom vet also leaves alone).
+func outerShadowed(pkgScope, inner *types.Scope, name string, pos token.Pos) *types.Var {
+	for s := inner.Parent(); s != nil && s != pkgScope && s != types.Universe; s = s.Parent() {
+		if obj := s.Lookup(name); obj != nil {
+			v, ok := obj.(*types.Var)
+			if ok && v.Pos() < pos {
+				return v
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// writeIdents collects the identifiers appearing as assignment targets —
+// including the `x, err := f()` form that reuses an already-declared err,
+// which go/types records as a use.
+func writeIdents(files []*ast.File) map[*ast.Ident]bool {
+	set := map[*ast.Ident]bool{}
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						set[id] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return set
+}
+
+// misreadAfter reports whether v is READ after end before being written
+// again — the only sequence where the shadow could have misled a reader.
+// The pervasive Go pattern `inner block shadows err; later x, err := f();
+// if err != nil` re-writes the outer variable before every read, and stays
+// quiet here.
+func misreadAfter(info *types.Info, writes map[*ast.Ident]bool, v *types.Var, end token.Pos) bool {
+	firstRead, firstWrite := token.Pos(-1), token.Pos(-1)
+	for id, obj := range info.Uses {
+		if obj != v || id.Pos() <= end {
+			continue
+		}
+		if writes[id] {
+			if firstWrite < 0 || id.Pos() < firstWrite {
+				firstWrite = id.Pos()
+			}
+		} else if firstRead < 0 || id.Pos() < firstRead {
+			firstRead = id.Pos()
+		}
+	}
+	return firstRead >= 0 && (firstWrite < 0 || firstRead < firstWrite)
+}

@@ -1,0 +1,25 @@
+// Package fixture seeds the x = atomic.AddT(&x, ...) store-back race the
+// atomic pass flags, and the assignments to other variables it accepts.
+package fixture
+
+import "sync/atomic"
+
+func racyAdd(n int64) int64 {
+	n = atomic.AddInt64(&n, 1) // want "direct assignment of atomic.AddInt64 result to n"
+	return n
+}
+
+func racySwap(n int64) {
+	n = atomic.SwapInt64(&n, 0) // want "direct assignment of atomic.SwapInt64 result to n"
+	_ = n
+}
+
+func addOK(n *int64) int64 {
+	v := atomic.AddInt64(n, 1)
+	return v
+}
+
+func swapOK(n *int64) int64 {
+	old := atomic.SwapInt64(n, 0)
+	return old
+}

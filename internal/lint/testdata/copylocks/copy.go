@@ -1,0 +1,49 @@
+// Package fixture seeds by-value copies of lock-bearing values in every
+// position copylocks checks, plus the pointer and fresh-value forms it
+// accepts.
+package fixture
+
+import "sync"
+
+// guarded embeds its mutex by value, as structs should.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want "guarded passes a lock by value"
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	snapshot := *g // want "assignment copies a lock value"
+	_ = snapshot
+}
+
+func returnCopy(g *guarded) guarded { // want "guarded passes a lock by value"
+	return *g // want "return copies a lock value"
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies a lock"
+		total += g.n
+	}
+	return total
+}
+
+// byPointer is the correct shape everywhere.
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// fresh values are constructed, not copied; new(sync.Mutex) names a type,
+// not a value.
+func fresh() *guarded {
+	g := guarded{}
+	m := new(sync.Mutex)
+	_ = m
+	return &g
+}

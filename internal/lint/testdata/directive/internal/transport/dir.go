@@ -1,0 +1,31 @@
+// Package transport exercises every //pqslint:allow outcome against the
+// rawgo analyzer: a suppression that works, a missing reason, an unknown
+// analyzer name, an unused directive, and a malformed one.
+package transport
+
+func work() {}
+
+func suppressed() {
+	//pqslint:allow rawgo worker enrolled by hand in the harness scheduler
+	go work()
+}
+
+func missingReason() {
+	//pqslint:allow rawgo
+	go work()
+}
+
+func unknownAnalyzer() {
+	//pqslint:allow gofmt a reason that helps nobody
+	go work()
+}
+
+func unusedDirective() {
+	//pqslint:allow rawgo nothing below ever spawns
+	work()
+}
+
+func malformed() {
+	//pqslint:allow
+	work()
+}

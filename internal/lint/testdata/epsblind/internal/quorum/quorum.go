@@ -1,0 +1,9 @@
+// Package quorum carries the identity type epsblind keys on.
+package quorum
+
+// ServerID mirrors the real quorum.ServerID.
+type ServerID int
+
+// delayFor matches the hedge-path name pattern but lives outside
+// internal/register, so epsblind leaves it alone.
+func delayFor(id ServerID) bool { return id == 1 }

@@ -1,0 +1,41 @@
+// Package register seeds the identity-conditioned shapes that void the
+// ε-preservation argument, alongside the recording/observability forms
+// that stay legal.
+package register
+
+import "fixture.example/internal/quorum"
+
+// hedgeDelay branches on WHICH server is in the access set — the shape
+// the theorems forbid.
+func hedgeDelay(ids []quorum.ServerID) bool {
+	return ids[0] == 3 // want "comparison on server identity in hedge/spare path hedgeDelay"
+}
+
+func promoteSpare(id quorum.ServerID) int {
+	switch id { // want "switch over server identity in hedge/spare path promoteSpare"
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+func dispatchNext(lat map[quorum.ServerID]float64, id quorum.ServerID) float64 {
+	return lat[id] // want "per-server map read in hedge/spare path dispatchNext"
+}
+
+func spareDelay(id quorum.ServerID) int {
+	return int(id) * 3 // want "server identity converted to a scalar in hedge/spare path spareDelay"
+}
+
+// gatherErrs only RECORDS per-server state: pure writes stay clean.
+func gatherErrs(errs map[quorum.ServerID]error, id quorum.ServerID, err error) {
+	errs[id] = err
+}
+
+// observe is an allowlisted observability accessor.
+func observe(lat map[quorum.ServerID]float64, id quorum.ServerID) float64 {
+	return lat[id]
+}
+
+// statsByID consults identity but is not a hedge/spare path.
+func statsByID(id quorum.ServerID) bool { return id == 0 }

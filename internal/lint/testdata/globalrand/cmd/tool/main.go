@@ -1,0 +1,12 @@
+// Command tool exercises the main-package exemption: production entropy
+// defaults belong at the edges.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+func main() {
+	fmt.Println(rand.Int())
+}

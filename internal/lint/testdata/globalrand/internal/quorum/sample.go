@@ -1,0 +1,13 @@
+// Package quorum is in the deterministic scope: its sampling must be
+// seed-derived.
+package quorum
+
+import "math/rand"
+
+func sample() float64 {
+	return rand.Float64() // want "math/rand.Float64 draws from the process-global source"
+}
+
+func sampleSeeded(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -1,0 +1,7 @@
+// Package outside sits outside the deterministic scope; global randomness
+// here is unflagged.
+package outside
+
+import "math/rand"
+
+func Draw() int { return rand.Int() }

@@ -1,0 +1,27 @@
+// Package fixture is the module root (in scope: the real module root
+// constructs the diffusion RNG). oldDiffusionRNG reproduces the exact
+// pre-PR-6 tcp.go pattern: gossip peer selection seeded from the wall
+// clock, unreplayable by construction.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func oldDiffusionRNG() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "math/rand.NewSource seeded from the wall clock"
+}
+
+func globalDraw(n int) int {
+	return rand.Intn(n) // want "math/rand.Intn draws from the process-global source"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "math/rand.Shuffle draws from the process-global source"
+}
+
+// seeded is the approved form: a private source derived from configuration.
+func seeded(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

@@ -1,0 +1,30 @@
+// Package fixture pins go 1.21 in its go.mod, the pre-per-iteration
+// semantics under which loopclosure applies (the pass is a no-op under
+// go1.22+ modules — the language fixed the bug).
+package fixture
+
+func capture(fns []func()) {
+	for i := range fns {
+		go func() {
+			fns[i]() // want "loop variable i captured by func literal"
+		}()
+	}
+}
+
+func indexed(n int) {
+	for i := 0; i < n; i++ {
+		defer func() {
+			println(i) // want "loop variable i captured by func literal"
+		}()
+	}
+}
+
+// pinned rebinds per iteration — the classic pre-1.22 fix.
+func pinned(fns []func()) {
+	for i := range fns {
+		i := i
+		go func() {
+			fns[i]()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+// Package fixture seeds dereferences inside branches where a nil check
+// just proved the pointer nil, plus the repair idiom and nil-receiver
+// method calls the pass accepts.
+package fixture
+
+type node struct {
+	next *node
+	val  int
+}
+
+func derefInNilBranch(n *node) int {
+	if n == nil {
+		return n.val // want "nil dereference: n is nil in this branch"
+	}
+	return n.val
+}
+
+func derefInElse(n *node) int {
+	if n != nil {
+		return n.val
+	} else {
+		return n.val // want "nil dereference: n is nil in this branch"
+	}
+}
+
+func starDeref(n *node) node {
+	if n == nil {
+		return *n // want "nil dereference: n is nil in this branch"
+	}
+	return *n
+}
+
+// repaired reassigns before the deref — the guard-and-default idiom.
+func repaired(n *node) int {
+	if n == nil {
+		n = &node{}
+		return n.val
+	}
+	return n.val
+}
+
+// methodOnNil calls a method: legal on nil receivers, and depth handles
+// exactly that.
+func methodOnNil(n *node) int {
+	if n == nil {
+		return n.depth()
+	}
+	return 0
+}
+
+func (n *node) depth() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.depth()
+}

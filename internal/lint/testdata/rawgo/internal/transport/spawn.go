@@ -1,0 +1,14 @@
+// Package transport sits inside the virtual-time-enrolled scope, where a
+// bare go statement spawns a worker the SimClock cannot track.
+package transport
+
+func work() {}
+
+func bare() {
+	go work() // want "bare go statement in virtual-time-enrolled package"
+}
+
+func enrolled() {
+	//pqslint:allow rawgo the scheduler is nil on this branch; there is no SimClock to enroll with
+	go work()
+}

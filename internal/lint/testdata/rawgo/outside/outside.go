@@ -1,0 +1,7 @@
+// Package outside is not in the enrolled set: free goroutines are fine
+// here.
+package outside
+
+func work() {}
+
+func spawn() { go work() }

@@ -1,0 +1,39 @@
+// Package fixture seeds the wall-clock patterns the wallclock analyzer
+// fences, including the uptime pattern PR 6 scrubbed out of the real
+// tcp.go/admin.go (a server stamping time.Now at construction and
+// measuring time.Since at stats time).
+package fixture
+
+import "time"
+
+// server mirrors pqs.Server before clock injection: started from the wall
+// clock instead of an injected vtime.Clock.
+type server struct {
+	started time.Time
+}
+
+func newServer() *server {
+	return &server{started: time.Now()} // want "time.Now reads the wall clock"
+}
+
+func (s *server) uptime() float64 {
+	return time.Since(s.started).Seconds() // want "time.Since reads the wall clock"
+}
+
+func sleepy() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+func timers(f func()) {
+	_ = time.After(time.Second)        // want "time.After reads the wall clock"
+	_ = time.AfterFunc(time.Second, f) // want "time.AfterFunc reads the wall clock"
+	_ = time.NewTimer(time.Second)     // want "time.NewTimer reads the wall clock"
+	_ = time.NewTicker(time.Second)    // want "time.NewTicker reads the wall clock"
+}
+
+// durations touch no clock: only the clock itself is fenced, not the
+// time package's arithmetic.
+func durations() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d + 2*time.Millisecond
+}

@@ -1,0 +1,12 @@
+// Command tool exercises the main-package exemption: a CLI printing wall
+// timings is wall-clock by nature.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

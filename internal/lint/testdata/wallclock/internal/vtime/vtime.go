@@ -1,0 +1,12 @@
+// Package vtime stands in for the real clock layer: the one package
+// allowed to touch the time package directly, exercising the analyzer's
+// path exemption.
+package vtime
+
+import "time"
+
+// Wall reads the wall clock — legal here, and only here.
+func Wall() time.Time { return time.Now() }
+
+// Sleep parks on the wall clock — also legal here.
+func Sleep(d time.Duration) { time.Sleep(d) }

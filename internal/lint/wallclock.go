@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden is the set of time-package functions that read or
+// schedule against the process wall clock. Referencing any of them outside
+// internal/vtime makes the call site invisible to a SimClock: the run can
+// no longer be replayed from its seed, which is the contract the chaos
+// checker, the determinism regressions and the ε measurements all stand on.
+// Duration arithmetic (time.Duration, time.Millisecond, ParseDuration) is
+// untouched — only the clock itself is fenced.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+}
+
+// Wallclock forbids wall-clock reads and timers everywhere except
+// internal/vtime (the one place allowed to touch the time package, behind
+// the Clock interface) and main packages (a CLI printing wall timings is
+// wall-clock by nature). Library code gets its clock injected:
+// vtime.Or(cfg.Clock) is the established idiom.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Sleep/Since/Until/After/AfterFunc/NewTimer/NewTicker/Tick " +
+		"outside internal/vtime and main packages; time must flow through an injected vtime.Clock",
+	Run: runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	if pass.Pkg.Name == "main" || pathHasSuffix(pass.Pkg.PkgPath, "internal/vtime") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() != nil || !wallclockForbidden[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock: inject a vtime.Clock (vtime.Or(cfg.Clock)) so the call replays under a SimClock",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -89,6 +89,7 @@ func (c *Client) dispatch(ctx context.Context, id quorum.ServerID, req any, ch c
 	select {
 	case c.jobs <- j:
 	default:
+		//pqslint:allow rawgo wall-clock-only fallback: this branch runs iff c.sched is nil, i.e. there is no SimClock to enroll the worker with
 		go c.poolWorker(j)
 	}
 }
@@ -117,6 +118,7 @@ func (c *Client) goWorker(fn func()) {
 		c.sched.Go(fn)
 		return
 	}
+	//pqslint:allow rawgo wall-clock-only fallback: this branch runs iff c.sched is nil, i.e. there is no SimClock to enroll the worker with
 	go fn()
 }
 

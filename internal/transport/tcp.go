@@ -351,6 +351,7 @@ func (w *frameWriter) flushLoop() {
 			// does not strand the scheduler's pending count.
 			w.mu.Lock()
 			if w.kickPending {
+				//pqslint:allow lockspan kickPending (guarded by w.mu) means exactly one value sits buffered in w.kick, so this receive cannot block
 				<-w.kick
 				w.kickPending = false
 				w.sched.NoteRecv()

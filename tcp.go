@@ -2,6 +2,8 @@ package pqs
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"pqs/internal/replica"
 	"pqs/internal/transport"
 	"pqs/internal/ts"
+	"pqs/internal/vtime"
 )
 
 // Server is one replica served over TCP (see ListenAndServe). Its
@@ -19,27 +22,64 @@ import (
 type Server struct {
 	srv     *transport.TCPServer
 	rep     *replica.Replica
+	clock   vtime.Clock
 	started time.Time
 
 	mu         sync.Mutex
+	diffSeed   int64
 	gossipStop context.CancelFunc
 	gossipDone chan struct{}
 	gossipTC   *transport.TCPClient
+}
+
+// ServerConfig configures ListenAndServeConfig. The zero value of every
+// optional field selects the production default, so
+// ListenAndServeConfig(ServerConfig{ID: id, Addr: addr}) ==
+// ListenAndServe(id, addr).
+type ServerConfig struct {
+	// ID is the replica's non-negative server id.
+	ID int
+	// Addr is the listen address (host:port; port 0 picks a free port).
+	Addr string
+	// Clock is the server's time source — uptime accounting today, every
+	// future server-side timer by construction (the wallclock lint pass
+	// keeps the time package out of this file). Nil means the wall clock.
+	Clock vtime.Clock
+	// DiffusionSeed seeds StartDiffusion's peer-selection RNG,
+	// deterministically derived per server id. Zero draws a one-time seed
+	// from crypto/rand — explicit entropy at the configuration boundary,
+	// instead of the wall-clock seed this field replaced, which silently
+	// made every diffusion run over real TCP unreplayable.
+	DiffusionSeed int64
 }
 
 // ListenAndServe starts a replica with the given server id on addr
 // (host:port; use port 0 to pick a free port). The returned Server reports
 // its bound address via Addr and is shut down with Close.
 func ListenAndServe(id int, addr string) (*Server, error) {
-	if id < 0 {
-		return nil, fmt.Errorf("pqs: server id %d must be non-negative", id)
+	return ListenAndServeConfig(ServerConfig{ID: id, Addr: addr})
+}
+
+// ListenAndServeConfig is ListenAndServe with the injectable knobs —
+// notably the clock and the diffusion seed, which is what lets a harness
+// replay a server's diffusion behavior byte-for-byte.
+func ListenAndServeConfig(cfg ServerConfig) (*Server, error) {
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("pqs: server id %d must be non-negative", cfg.ID)
 	}
-	rep := replica.New(quorum.ServerID(id))
-	srv, err := transport.ListenTCP(addr, rep)
+	rep := replica.New(quorum.ServerID(cfg.ID))
+	srv, err := transport.ListenTCP(cfg.Addr, rep)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{srv: srv, rep: rep, started: time.Now()}, nil
+	clock := vtime.Or(cfg.Clock)
+	return &Server{
+		srv:      srv,
+		rep:      rep,
+		clock:    clock,
+		started:  clock.Now(),
+		diffSeed: cfg.DiffusionSeed,
+	}, nil
 }
 
 // Addr returns the server's bound address.
@@ -84,12 +124,22 @@ func (s *Server) SetReplyDelay(d time.Duration) {
 // server: every interval it push-pulls state with fanout random peers over
 // TCP (Section 1.1's lazy update propagation, as a deployment would run it
 // inside each pqsd). peers maps server ids (including possibly this one,
-// which is skipped) to addresses. Stop with StopDiffusion or Close.
+// which is skipped) to addresses. Peer selection draws from a RNG seeded
+// by ServerConfig.DiffusionSeed (crypto/rand when unset), derived per
+// server id, so a configured seed makes gossip over real TCP replayable.
+// Stop with StopDiffusion or Close.
 func (s *Server) StartDiffusion(peers map[int]string, fanout int, interval time.Duration) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.gossipStop != nil {
 		return fmt.Errorf("pqs: diffusion already running")
+	}
+	if s.diffSeed == 0 {
+		var b [8]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return fmt.Errorf("pqs: drawing diffusion seed: %w", err)
+		}
+		s.diffSeed = int64(binary.LittleEndian.Uint64(b[:]) | 1) // never zero
 	}
 	addrs := make(map[quorum.ServerID]string, len(peers))
 	ids := make([]quorum.ServerID, 0, len(peers))
@@ -105,7 +155,7 @@ func (s *Server) StartDiffusion(peers map[int]string, fanout int, interval time.
 		Store:     s.rep.Store(),
 		Fanout:    fanout,
 		Interval:  interval,
-		Rand:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(s.rep.ID()))),
+		Rand:      rand.New(rand.NewSource(s.diffSeed + int64(s.rep.ID())*7919)),
 	})
 	if err != nil {
 		tc.Close()
