@@ -10,7 +10,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet lint race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast
+.PHONY: all build test vet lint race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast e2e-smoke
 
 all: ci
 
@@ -58,7 +58,7 @@ bench-tail:
 # Staged through a temp file rather than a pipe so a benchmark failure
 # fails the target (/bin/sh has no pipefail).
 bench-json:
-	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime $(BENCHTIME) . > BENCH_throughput.out
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec|BenchmarkHighFanIn)' -benchmem -benchtime $(BENCHTIME) . > BENCH_throughput.out
 	$(GO) run ./cmd/benchjson < BENCH_throughput.out > BENCH_throughput.json
 	@rm -f BENCH_throughput.out
 	@echo "wrote BENCH_throughput.json"
@@ -68,7 +68,7 @@ bench-json:
 # Staged through a scratch file so the committed BENCH_throughput.json —
 # the bench-regress baseline — is never clobbered with 1-iteration rates.
 bench-smoke:
-	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime 1x . > BENCH_smoke.out
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec|BenchmarkHighFanIn)' -benchmem -benchtime 1x . > BENCH_smoke.out
 	$(GO) run ./cmd/benchjson < BENCH_smoke.out > BENCH_smoke.json
 	@rm -f BENCH_smoke.out
 	$(GO) run ./cmd/benchjson -check BENCH_smoke.json
@@ -85,7 +85,7 @@ bench-smoke:
 # legitimately moves the numbers.
 BENCH_TOLERANCE ?= 0.30
 bench-regress:
-	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec)' -benchmem -benchtime $(BENCHTIME) . > BENCH_fresh.out
+	$(GO) test -run 'XXX' -bench '^(BenchmarkThroughput|BenchmarkCodec|BenchmarkHighFanIn)' -benchmem -benchtime $(BENCHTIME) . > BENCH_fresh.out
 	$(GO) run ./cmd/benchjson < BENCH_fresh.out > BENCH_fresh.json
 	@rm -f BENCH_fresh.out
 	$(GO) run ./cmd/benchjson -compare BENCH_throughput.json BENCH_fresh.json -tolerance $(BENCH_TOLERANCE)
@@ -128,3 +128,10 @@ sim-fast:
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzDecodeMessage -fuzztime 10s ./internal/wire
 	$(GO) test -run XXX -fuzz FuzzVNetFaultInjector -fuzztime 10s ./internal/transport
+
+# The end-to-end smoke gate: build the real pqsd/pqs-cli binaries, stand a
+# 5-replica cluster up on loopback TCP, write and read through the CLI, kill
+# one server, and require reads to keep succeeding. Guarded behind PQS_E2E=1
+# so ordinary `go test ./...` runs stay hermetic.
+e2e-smoke:
+	PQS_E2E=1 $(GO) test -run TestE2ESmoke -v -count=1 .

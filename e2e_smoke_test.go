@@ -1,0 +1,134 @@
+// End-to-end smoke test driving the REAL binaries — cmd/pqsd and
+// cmd/pqs-cli — over loopback TCP: build both, stand up a 5-replica
+// cluster, write and read through the CLI, kill one server, and require
+// reads to keep succeeding (n=5, q=4: any two quorums overlap in at least
+// three servers, so one crash cannot hide the value).
+//
+// Guarded behind PQS_E2E=1 (`make e2e-smoke`) so ordinary `go test ./...`
+// runs stay hermetic and fast.
+package pqs_test
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var servingRE = regexp.MustCompile(`serving on (\S+)`)
+
+// buildBinary compiles a package into dir and returns the binary path.
+func buildBinary(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startServer launches one pqsd and returns its process plus the loopback
+// address it reports on stdout.
+func startServer(t *testing.T, bin string, id int) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-id", fmt.Sprint(id), "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start pqsd %d: %v", id, err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := servingRE.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		// Keep draining so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("pqsd %d never reported its address", id)
+		return nil, ""
+	}
+}
+
+// TestE2ESmoke is the binary-level end-to-end check; see the file comment.
+func TestE2ESmoke(t *testing.T) {
+	if os.Getenv("PQS_E2E") != "1" {
+		t.Skip("set PQS_E2E=1 (or run `make e2e-smoke`) to run the end-to-end smoke test")
+	}
+	const n = 5
+	dir := t.TempDir()
+	pqsd := buildBinary(t, dir, "pqsd", "./cmd/pqsd")
+	cli := buildBinary(t, dir, "pqs-cli", "./cmd/pqs-cli")
+
+	procs := make([]*exec.Cmd, n)
+	specs := make([]string, n)
+	for i := 0; i < n; i++ {
+		cmd, addr := startServer(t, pqsd, i)
+		procs[i] = cmd
+		specs[i] = fmt.Sprintf("%d=%s", i, addr)
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	servers := strings.Join(specs, ",")
+
+	run := func(args ...string) (string, error) {
+		full := append([]string{"-servers", servers, "-q", "4"}, args...)
+		out, err := exec.Command(cli, full...).CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := run("put", "e2e-key", "e2e-value")
+	if err != nil {
+		t.Fatalf("put: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "ok") {
+		t.Fatalf("put output: %q", out)
+	}
+
+	out, err = run("get", "e2e-key")
+	if err != nil {
+		t.Fatalf("get: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "e2e-value") {
+		t.Fatalf("get output: %q", out)
+	}
+
+	// Kill one replica; with q=4 over n=5 every quorum still overlaps the
+	// write quorum in at least three live servers.
+	if err := procs[2].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procs[2].Wait()
+
+	for i := 0; i < 3; i++ {
+		out, err = run("get", "e2e-key")
+		if err != nil {
+			t.Fatalf("get after kill (attempt %d): %v\n%s", i, err, out)
+		}
+		if !strings.Contains(out, "e2e-value") {
+			t.Fatalf("get after kill returned %q", out)
+		}
+	}
+}

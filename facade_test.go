@@ -2,7 +2,11 @@ package pqs
 
 import (
 	"context"
+	"errors"
 	"testing"
+	"time"
+
+	"pqs/internal/wire"
 )
 
 func TestFacadeRetryingClient(t *testing.T) {
@@ -86,5 +90,79 @@ func TestFacadeReadRepair(t *testing.T) {
 		System: msys, Transport: cluster.Transport(), WriterID: 1, ReadRepair: true,
 	}); err == nil {
 		t.Error("masking + read repair accepted by facade")
+	}
+}
+
+// TestFacadeDialConfigLifecycle drives the DialConfig facade end to end over
+// real sockets with the connection lifecycle enabled: pooled connections
+// serve a read/write workload, and after the servers go away the circuit
+// breaker trips and surfaces ErrServerDown without waiting out a dial.
+func TestFacadeDialConfigLifecycle(t *testing.T) {
+	const n = 3
+	addrs := make(map[int]string, n)
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		srv, err := ListenAndServe(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr()
+	}
+	tc, err := DialConfig(addrs, DialOptions{
+		CallTimeout: 2 * time.Second,
+		Lifecycle: LifecycleConfig{
+			PoolSize:         2,
+			DialBackoffBase:  time.Millisecond,
+			BreakerThreshold: 1,
+			BreakerCooldown:  time.Minute, // stays open for the rest of the test
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+
+	sys, err := New(Config{N: n, Q: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(ClientConfig{System: sys, Transport: tc, WriterID: 1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := client.Write(ctx, "lc", []byte("pooled")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := client.Read(ctx, "lc")
+	if err != nil || !r.Found || string(r.Value) != "pooled" {
+		t.Fatalf("read %+v, err %v", r, err)
+	}
+	if got := tc.Stats().Conns; got == 0 {
+		t.Fatal("lifecycle pool reported zero dialed connections")
+	}
+
+	for _, srv := range servers {
+		srv.Close()
+	}
+	// Existing pooled connections die with the servers; the next dials are
+	// refused and trip the per-server breakers, after which calls must fail
+	// immediately with the typed error.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := tc.Call(ctx, 0, wire.PingRequest{})
+		if errors.Is(err, ErrServerDown) {
+			break
+		}
+		if err == nil {
+			t.Fatal("call succeeded against a closed server")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never opened; last error: %v", err)
+		}
+	}
+	if got := tc.Stats().BreakerTrips; got == 0 {
+		t.Fatal("breaker tripped but BreakerTrips == 0")
 	}
 }

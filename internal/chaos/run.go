@@ -60,6 +60,17 @@ type Config struct {
 	// reset streams; duplication is a deliberate no-op — TCP sequence
 	// numbers preclude it). Implies Virtual.
 	Transport string
+	// WireCodec selects the TCP serialization under tcp-virtual (zero value
+	// = CodecBinary, the production default; CodecGob exercises the legacy
+	// framing). Ignored on the mem plane.
+	WireCodec transport.Codec
+	// Lifecycle configures connection pooling, redial backoff and the
+	// circuit breaker on the tcp-virtual client (zero value = legacy
+	// single-connection behavior). The register client detects the breaker
+	// through the HealthReporter interface, so an open breaker fast-fails
+	// quorum members at dispatch and spares promote at t=0. Ignored on the
+	// mem plane.
+	Lifecycle transport.LifecycleConfig
 	// LatencyMin and LatencyMax, when LatencyMax > 0, give every call a
 	// uniform simulated latency drawn deterministically from the seed.
 	// Meaningful mainly with Virtual (wall runs would really sleep).
@@ -103,6 +114,20 @@ type Report struct {
 	// adopted from peers across all engines.
 	GossipRounds uint64 `json:"gossip_rounds,omitempty"`
 	GossipMerged uint64 `json:"gossip_merged,omitempty"`
+	// Lifecycle snapshots the main client's connection-lifecycle counters
+	// when Config.Lifecycle enables any feature under tcp-virtual. Counter
+	// totals are aggregates, not part of the byte-for-byte determinism
+	// contract (that contract covers History only).
+	Lifecycle *LifecycleReport `json:"lifecycle,omitempty"`
+	// StormCalls and StormErrors aggregate the side traffic of every Storm
+	// action the schedule fired (dial-storm scenarios); StormCoalesced and
+	// StormFastFails are the storm fleet's own dial-coalescing and
+	// backoff-fast-fail counts, collected before the fleet is torn down.
+	// Aggregates only; storm operations never enter History.
+	StormCalls     uint64 `json:"storm_calls,omitempty"`
+	StormErrors    uint64 `json:"storm_errors,omitempty"`
+	StormCoalesced uint64 `json:"storm_dials_coalesced,omitempty"`
+	StormFastFails uint64 `json:"storm_backoff_fast_fails,omitempty"`
 	// History is the full operation record (omitted from JSON reports;
 	// replay the seed to regenerate it).
 	History History `json:"-"`
@@ -177,7 +202,10 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		// The fault plane is the byte-stream network itself: the schedule's
 		// actions reconfigure it, and every framed chunk consults it.
 		var err error
-		tc, err = sim.NewTCPCluster(cluster, clk, cfg.Seed+0x9E3779B9, 0)
+		tc, err = sim.NewTCPClusterOpts(cluster, clk, cfg.Seed+0x9E3779B9, sim.TCPClusterOptions{
+			Codec:     cfg.WireCodec,
+			Lifecycle: cfg.Lifecycle,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("chaos: tcp cluster: %w", err)
 		}
@@ -221,11 +249,12 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	}
 
 	rt := &runtime{
-		cluster: cluster,
-		eng:     eng,
-		tcp:     tc,
-		byID:    make(map[quorum.ServerID]*replica.Replica),
-		clock:   vtime.Or(netClk),
+		cluster:   cluster,
+		eng:       eng,
+		tcp:       tc,
+		byID:      make(map[quorum.ServerID]*replica.Replica),
+		clock:     vtime.Or(netClk),
+		lifecycle: cfg.Lifecycle,
 	}
 	for _, r := range cluster.Replicas {
 		rt.byID[r.ID()] = r
@@ -325,5 +354,38 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 			rep.GossipMerged += e.Stats().Merged
 		}
 	}
+	if tc != nil && cfg.Lifecycle.Enabled() {
+		st := tc.Client.Stats()
+		rep.Lifecycle = &LifecycleReport{
+			Conns:            st.Conns,
+			DialsCoalesced:   st.DialsCoalesced,
+			BackoffFastFails: st.BackoffFastFails,
+			BreakerTrips:     st.BreakerTrips,
+			BreakerHalfOpens: st.BreakerHalfOpens,
+			BreakerCloses:    st.BreakerCloses,
+			BreakerFastFails: st.BreakerFastFails,
+			ConnsReaped:      st.ConnsReaped,
+			ProbesSent:       st.ProbesSent,
+		}
+	}
+	rep.StormCalls = rt.stormCalls.Load()
+	rep.StormErrors = rt.stormErrors.Load()
+	rep.StormCoalesced = rt.stormCoalesced.Load()
+	rep.StormFastFails = rt.stormFastFails.Load()
 	return rep, nil
+}
+
+// LifecycleReport is the connection-lifecycle slice of the tcp-virtual
+// client's transport counters, attached to a Report when Config.Lifecycle
+// enables any feature. See transport.TCPStats for field semantics.
+type LifecycleReport struct {
+	Conns            uint64 `json:"conns"`
+	DialsCoalesced   uint64 `json:"dials_coalesced"`
+	BackoffFastFails uint64 `json:"backoff_fast_fails"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerHalfOpens uint64 `json:"breaker_half_opens"`
+	BreakerCloses    uint64 `json:"breaker_closes"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails"`
+	ConnsReaped      uint64 `json:"conns_reaped"`
+	ProbesSent       uint64 `json:"probes_sent"`
 }

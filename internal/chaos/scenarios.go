@@ -16,6 +16,7 @@ import (
 	"pqs/internal/core"
 	"pqs/internal/quorum"
 	"pqs/internal/register"
+	"pqs/internal/transport"
 )
 
 // Scenario is one named entry of the chaos matrix.
@@ -149,6 +150,90 @@ func Scenarios() []Scenario {
 					Ops: 60 * scale, Seed: seed, Bound: sys.EpsilonBound(),
 					Schedule: Schedule{
 						At(0, SlowDown(20*time.Microsecond, 500*time.Microsecond, ids(0, 10)...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/dial-storm",
+			Doc:  "1200 concurrent clients pound one server while it is crashed and again right after it recovers; lifecycle clients (pool + jittered backoff + breaker) absorb the storm through coalesced dials and backoff fast-fails, and the recorded history replays byte-for-byte",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 3)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 60 * scale
+				target := quorum.ServerID(7)
+				return Config{
+					Name: "benign/dial-storm", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					// Virtual with zero latency: every storm call resolves at
+					// one virtual instant, so storm-side scheduling races can
+					// never leak into the main client's timing.
+					Virtual: true,
+					Lifecycle: transport.LifecycleConfig{
+						PoolSize:         4,
+						DialBackoffBase:  time.Millisecond,
+						BreakerThreshold: 3,
+						BreakerCooldown:  5 * time.Millisecond,
+						Seed:             seed,
+					},
+					Schedule: Schedule{
+						At(ops/4, Crash(target), Storm(target, 1200, 2)),
+						At(ops/2, Recover(target), Storm(target, 1200, 2)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/flapping-server",
+			Doc:  "5 servers crash and recover repeatedly; under tcp-virtual the client's circuit breaker trips on consecutive failures, fast-fails while open, half-opens after the cooldown and closes once the trial succeeds, while spares absorb the gaps",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 90 * scale
+				group := ids(10, 5)
+				return Config{
+					Name: "benign/flapping-server", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					// Nonzero latency makes virtual time advance, so breaker
+					// cooldowns genuinely elapse and half-open trials run.
+					Virtual:    true,
+					LatencyMin: 200 * time.Microsecond, LatencyMax: 800 * time.Microsecond,
+					Spares: 2, HedgeDelay: 2 * time.Millisecond, EagerRead: true,
+					Lifecycle: transport.LifecycleConfig{
+						PoolSize:         2,
+						DialBackoffBase:  time.Millisecond,
+						BreakerThreshold: 2,
+						BreakerCooldown:  2 * time.Millisecond,
+						Seed:             seed,
+					},
+					Schedule: Schedule{
+						At(ops/6, Crash(group...)),
+						At(2*ops/6, Recover(group...)),
+						At(3*ops/6, Crash(group...)),
+						At(4*ops/6, Recover(group...)),
+						At(5*ops/6, Crash(group...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "benign/gob-wire",
+			Doc:  "the legacy encoding/gob codec carries the whole run under 1% chunk loss and delivery jitter; end-to-end behavior must match the binary codec's (the codec is framing, not semantics)",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				return Config{
+					Name: "benign/gob-wire", System: sys, Mode: register.Benign,
+					Ops: 100 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					WireCodec: transport.CodecGob,
+					Schedule: Schedule{
+						At(0, Drop(0.01), Reorder(200*time.Microsecond)),
 					},
 				}, nil
 			},

@@ -8,12 +8,14 @@ package chaos
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
 	"pqs/internal/replica"
 	"pqs/internal/sim"
+	"pqs/internal/transport"
 	"pqs/internal/vtime"
 )
 
@@ -71,6 +73,15 @@ type runtime struct {
 	// Config.GossipEvery is set; Leave and Join keep its membership
 	// current.
 	gossip *diffusion.Group
+	// lifecycle is Config.Lifecycle, handed to the dial-storm side clients
+	// so they exercise the same pooling/backoff/breaker policy as the main
+	// client.
+	lifecycle transport.LifecycleConfig
+	// stormCalls and stormErrors aggregate every Storm action's side
+	// traffic for the report; stormCoalesced and stormFastFails collect the
+	// storm fleet's lifecycle counters before the fleet is torn down.
+	// Aggregates only — never part of History.
+	stormCalls, stormErrors, stormCoalesced, stormFastFails atomic.Uint64
 }
 
 // crash marks a server crashed on the live plane. On the byte-stream plane

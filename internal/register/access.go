@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pqs/internal/quorum"
+	"pqs/internal/transport"
 	"pqs/internal/vtime"
 )
 
@@ -81,6 +82,20 @@ func (c *Client) runJob(j dispatchJob) {
 // only when none is parked on the jobs channel — after the first
 // operation warms the pool, steady-state reads and writes spawn nothing).
 func (c *Client) dispatch(ctx context.Context, id quorum.ServerID, req any, ch chan<- callReply, timed bool) {
+	if c.health != nil && c.health.ServerDown(id) {
+		// The transport's circuit breaker already proved this member
+		// unreachable: deliver the failure at t=0 so the gather promotes a
+		// spare immediately instead of burning hedge budget. The check sits
+		// at dispatch — the hedge/promote logic never consults identity, so
+		// the ε argument (promotion conditioned on observable failure) is
+		// untouched.
+		c.statServerDown.Add(1)
+		if c.sched != nil {
+			c.sched.NoteSend()
+		}
+		ch <- callReply{id: id, err: transport.ErrServerDown}
+		return
+	}
 	j := dispatchJob{ctx: ctx, id: id, req: req, ch: ch, timed: timed}
 	if c.sched != nil {
 		c.sched.Go(func() { c.runJob(j) })
@@ -359,6 +374,11 @@ type AccessStats struct {
 	// LateRepairs counts read-repair writes pushed to servers whose replies
 	// arrived after an eager read returned.
 	LateRepairs uint64
+	// ServerDownFastFails counts access-set members failed at dispatch
+	// because the transport's circuit breaker reported them down
+	// (transport.ErrServerDown): each such member's slot fails at t=0,
+	// promoting a spare immediately instead of waiting out the hedge timer.
+	ServerDownFastFails uint64
 
 	// LatencySamples, SRTT, RTTVar and HedgeDelay describe the adaptive-
 	// hedge latency estimator (zero unless Options.AdaptiveHedge is set):
@@ -374,10 +394,11 @@ type AccessStats struct {
 // Stats returns a snapshot of the client's straggler-tolerance counters.
 func (c *Client) Stats() AccessStats {
 	s := AccessStats{
-		SparesPromoted:   c.statPromoted.Load(),
-		EarlyCompletions: c.statEarly.Load(),
-		LateReplies:      c.statLate.Load(),
-		LateRepairs:      c.statLateRepairs.Load(),
+		SparesPromoted:      c.statPromoted.Load(),
+		EarlyCompletions:    c.statEarly.Load(),
+		LateReplies:         c.statLate.Load(),
+		LateRepairs:         c.statLateRepairs.Load(),
+		ServerDownFastFails: c.statServerDown.Load(),
 	}
 	if c.opts.AdaptiveHedge {
 		s.LatencySamples, s.SRTT, s.RTTVar = c.lat.snapshot()
@@ -398,4 +419,5 @@ type accessCounters struct {
 	statEarly       atomic.Uint64
 	statLate        atomic.Uint64
 	statLateRepairs atomic.Uint64
+	statServerDown  atomic.Uint64
 }

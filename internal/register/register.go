@@ -65,6 +65,31 @@ var (
 	ErrPartialWrite = errors.New("register: write reached only part of the quorum")
 )
 
+// permanentNoReplies marks an ErrNoReplies outcome in which every member
+// failure was classified permanent (codec mismatch, unsupported payload):
+// re-sampling another quorum cannot help, so transport.IsPermanent matches
+// it and RetryingClient stops retrying. It wraps the plain error, so
+// errors.Is(err, ErrNoReplies) keeps matching.
+type permanentNoReplies struct{ err error }
+
+func (e *permanentNoReplies) Error() string   { return e.err.Error() }
+func (e *permanentNoReplies) Unwrap() error   { return e.err }
+func (e *permanentNoReplies) Permanent() bool { return true }
+
+// noRepliesError wraps the zero-reply failure, marking it permanent when
+// every member error carries a permanent classification.
+func noRepliesError(err error, errs map[quorum.ServerID]error) error {
+	if len(errs) == 0 {
+		return err
+	}
+	for _, merr := range errs {
+		if !transport.IsPermanent(merr) {
+			return err
+		}
+	}
+	return &permanentNoReplies{err: err}
+}
+
 // Options configures a Client.
 type Options struct {
 	// System supplies quorums; its built-in access strategy is what the
@@ -185,6 +210,11 @@ type Client struct {
 	lat    latencyEstimator
 	hedgeK float64
 
+	// health is non-nil when the transport reports per-server reachability
+	// (a breaker-enabled TCPClient): dispatch fails known-down members at
+	// t=0 so the gather promotes spares immediately (see access.go).
+	health transport.HealthReporter
+
 	accessCounters
 	drainWG *vtime.WaitGroup
 }
@@ -245,7 +275,7 @@ func NewClient(opts Options) (*Client, error) {
 	if k == 0 {
 		k = defaultHedgeDeviations
 	}
-	return &Client{
+	c := &Client{
 		opts:    opts,
 		clock:   clk,
 		sched:   sched,
@@ -253,7 +283,11 @@ func NewClient(opts Options) (*Client, error) {
 		jobs:    make(chan dispatchJob),
 		hedgeK:  k,
 		drainWG: vtime.NewWaitGroup(clk),
-	}, nil
+	}
+	if hr, ok := opts.Transport.(transport.HealthReporter); ok {
+		c.health = hr
+	}
+	return c, nil
 }
 
 // Mode returns the client's protocol mode.
@@ -325,7 +359,7 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 		if out.ctxErr != nil {
 			return res, out.ctxErr
 		}
-		return res, fmt.Errorf("%w: all %d members failed", ErrNoReplies, len(q))
+		return res, noRepliesError(fmt.Errorf("%w: all %d members failed", ErrNoReplies, len(q)), out.errs)
 	}
 	if c.opts.RequireFullWrite && len(res.Acked) < len(q) {
 		return res, fmt.Errorf("%w: %d/%d acknowledged", ErrPartialWrite, len(res.Acked), len(q))
@@ -465,7 +499,7 @@ func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
 		if out.ctxErr != nil {
 			return res, out.ctxErr
 		}
-		return res, fmt.Errorf("%w: quorum size %d", ErrNoReplies, len(q))
+		return res, noRepliesError(fmt.Errorf("%w: quorum size %d", ErrNoReplies, len(q)), out.errs)
 	}
 
 	switch c.opts.Mode {

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"pqs/internal/transport"
 )
 
 // RetryingClient wraps a Client with quorum re-sampling on transient
@@ -72,6 +74,12 @@ func (c *RetryingClient) Write(ctx context.Context, key string, value []byte) (W
 		if !errors.Is(err, ErrNoReplies) && !errors.Is(err, ErrPartialWrite) {
 			return res, err
 		}
+		if transport.IsPermanent(err) {
+			// Every member failed with a permanent classification (codec
+			// mismatch, unsupported payload): a fresh quorum sample would
+			// fail the same way, so stop burning attempts.
+			return res, err
+		}
 		c.backoff(ctx, i)
 	}
 	return res, err
@@ -98,6 +106,11 @@ func (c *RetryingClient) Read(ctx context.Context, key string) (ReadResult, erro
 			return res, nil
 		}
 		if !errors.Is(err, ErrNoReplies) {
+			return res, err
+		}
+		if transport.IsPermanent(err) {
+			// As in Write: permanently-failed quorums do not improve with
+			// re-sampling.
 			return res, err
 		}
 		c.backoff(ctx, i)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -213,5 +214,86 @@ func TestRetryingBackoffOnClock(t *testing.T) {
 	// 4 attempts, 3 sleeps between them.
 	if got, want := run(50*time.Millisecond), 150*time.Millisecond; got != want {
 		t.Errorf("backoff consumed %v virtual time, want %v", got, want)
+	}
+}
+
+// stampingTransport records the virtual time of every call before
+// delegating, so a test can reconstruct the retry schedule.
+type stampingTransport struct {
+	inner  transport.Transport
+	clk    *vtime.SimClock
+	mu     sync.Mutex
+	stamps []time.Duration
+}
+
+func (s *stampingTransport) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
+	s.mu.Lock()
+	s.stamps = append(s.stamps, s.clk.Elapsed())
+	s.mu.Unlock()
+	return s.inner.Call(ctx, to, req)
+}
+
+// TestRetryingBackoffDeterminism replays the same failing workload twice
+// under SimClocks from one seed and requires the identical retry schedule:
+// every attempt's dispatch timestamps must match to the nanosecond, spaced
+// exactly Backoff apart. (The retry layer sleeps on the injected clock and
+// draws quorums from the seeded Rand, so nothing in the schedule may wobble
+// between runs.)
+func TestRetryingBackoffDeterminism(t *testing.T) {
+	const attempts = 5
+	run := func() []time.Duration {
+		sc := vtime.NewSimClock()
+		var schedule []time.Duration
+		sc.Run(func() {
+			net := transport.NewMemNetwork(7)
+			net.SetClock(sc)
+			sys := majoritySystem(t, 3)
+			for i := 0; i < 3; i++ {
+				net.Register(quorum.ServerID(i), replica.New(quorum.ServerID(i)))
+				net.Crash(quorum.ServerID(i))
+			}
+			st := &stampingTransport{inner: net, clk: sc}
+			base, err := NewClient(Options{
+				System: sys, Mode: Benign, Transport: st,
+				Rand:  rand.New(rand.NewSource(5)),
+				Clock: ts.NewClock(1),
+				Time:  sc,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rc, err := NewRetryingClient(base, attempts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rc.Backoff = 20 * time.Millisecond
+			if _, err := rc.Read(context.Background(), "k"); !errors.Is(err, ErrNoReplies) {
+				t.Errorf("read against crashed cluster: %v, want ErrNoReplies", err)
+			}
+			// Concurrent member dispatches within one attempt share a virtual
+			// instant; the distinct timestamps are the attempt schedule.
+			st.mu.Lock()
+			for _, s := range st.stamps {
+				if len(schedule) == 0 || schedule[len(schedule)-1] != s {
+					schedule = append(schedule, s)
+				}
+			}
+			st.mu.Unlock()
+		})
+		return schedule
+	}
+	a, b := run(), run()
+	if len(a) != attempts {
+		t.Fatalf("observed %d attempts (%v), want %d", len(a), a, attempts)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d dispatched at %v vs %v: retry schedule is not replaying", i, a[i], b[i])
+		}
+		if want := time.Duration(i) * 20 * time.Millisecond; a[i] != want {
+			t.Fatalf("attempt %d at %v, want %v (Backoff spacing)", i, a[i], want)
+		}
 	}
 }

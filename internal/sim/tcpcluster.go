@@ -69,6 +69,7 @@ type TCPCluster struct {
 
 	clk     vtime.Clock
 	timeout time.Duration
+	codec   transport.Codec
 
 	mu       sync.Mutex
 	handlers map[quorum.ServerID]*swapHandler
@@ -77,13 +78,32 @@ type TCPCluster struct {
 	gossip   map[quorum.ServerID]*transport.TCPClient
 }
 
+// TCPClusterOptions parameterises NewTCPClusterOpts beyond the required
+// cluster/clock/seed triple.
+type TCPClusterOptions struct {
+	// CallTimeout bounds each client call; <= 0 means DefaultCallTimeout.
+	CallTimeout time.Duration
+	// Codec selects the wire codec for every server and client in the
+	// fixture (zero value = CodecBinary, the production default).
+	Codec transport.Codec
+	// Lifecycle configures pooling, redial backoff and the circuit breaker
+	// on the main client (zero value = legacy single-connection behaviour).
+	Lifecycle transport.LifecycleConfig
+}
+
 // NewTCPCluster wires every replica of c behind its own TCP server on a
 // fresh VirtualNet over clk, and returns the fixture plus a client
 // reaching all of them. callTimeout <= 0 means DefaultCallTimeout.
 func NewTCPCluster(c *Cluster, clk vtime.Clock, seed int64, callTimeout time.Duration) (*TCPCluster, error) {
+	return NewTCPClusterOpts(c, clk, seed, TCPClusterOptions{CallTimeout: callTimeout})
+}
+
+// NewTCPClusterOpts is NewTCPCluster with the full option set.
+func NewTCPClusterOpts(c *Cluster, clk vtime.Clock, seed int64, opts TCPClusterOptions) (*TCPCluster, error) {
 	if clk == nil {
 		return nil, errors.New("sim: TCP cluster requires a clock (virtual run)")
 	}
+	callTimeout := opts.CallTimeout
 	if callTimeout <= 0 {
 		callTimeout = DefaultCallTimeout
 	}
@@ -91,6 +111,7 @@ func NewTCPCluster(c *Cluster, clk vtime.Clock, seed int64, callTimeout time.Dur
 		Net:      transport.NewVirtualNet(clk, seed),
 		clk:      clk,
 		timeout:  callTimeout,
+		codec:    opts.Codec,
 		handlers: make(map[quorum.ServerID]*swapHandler),
 		addrs:    make(map[quorum.ServerID]string),
 		gossip:   make(map[quorum.ServerID]*transport.TCPClient),
@@ -100,12 +121,23 @@ func NewTCPCluster(c *Cluster, clk vtime.Clock, seed int64, callTimeout time.Dur
 			return nil, err
 		}
 	}
-	t.Client = transport.NewTCPClientOpts(t.addrs, transport.TCPClientOptions{
-		Clock:       clk,
-		Dial:        t.Net.Dialer(transport.ClientSource),
-		CallTimeout: callTimeout,
-	})
+	t.Client = t.NewSourceClient(transport.ClientSource, opts.Lifecycle)
 	return t, nil
+}
+
+// NewSourceClient builds an extra client over the fixture's network with its
+// own source identity and lifecycle configuration. The dial-storm chaos
+// action uses this to stand up many independent clients hammering one
+// address space; tests use it to compare lifecycle policies side by side.
+// The caller owns the client's Close (the fixture does not track it).
+func (t *TCPCluster) NewSourceClient(src quorum.ServerID, lc transport.LifecycleConfig) *transport.TCPClient {
+	return transport.NewTCPClientOpts(t.addrs, transport.TCPClientOptions{
+		Clock:       t.clk,
+		Dial:        t.Net.Dialer(src),
+		CallTimeout: t.timeout,
+		Codec:       t.codec,
+		Lifecycle:   lc,
+	})
 }
 
 // serve binds id's listener and starts its TCP server behind the handler
@@ -122,7 +154,7 @@ func (t *TCPCluster) serve(id quorum.ServerID, h transport.Handler) error {
 		t.handlers[id] = sh
 	}
 	sh.set(h)
-	t.servers = append(t.servers, transport.ServeListener(l, sh, transport.TCPOptions{Clock: t.clk}))
+	t.servers = append(t.servers, transport.ServeListener(l, sh, transport.TCPOptions{Clock: t.clk, Codec: t.codec}))
 	t.addrs[id] = l.Addr().String()
 	t.mu.Unlock()
 	return nil
@@ -142,7 +174,7 @@ func (t *TCPCluster) SetHandler(id quorum.ServerID, h transport.Handler) error {
 		// when the binding is still live.
 		if l, err := t.Net.Listen(id); err == nil {
 			t.mu.Lock()
-			t.servers = append(t.servers, transport.ServeListener(l, sh, transport.TCPOptions{Clock: t.clk}))
+			t.servers = append(t.servers, transport.ServeListener(l, sh, transport.TCPOptions{Clock: t.clk, Codec: t.codec}))
 			t.mu.Unlock()
 		}
 		return nil
@@ -170,6 +202,7 @@ func (g gossipTransport) Call(ctx context.Context, to quorum.ServerID, req any) 
 			Clock:       g.t.clk,
 			Dial:        g.t.Net.Dialer(from),
 			CallTimeout: g.t.timeout,
+			Codec:       g.t.codec,
 		})
 		g.t.gossip[from] = cl
 	}

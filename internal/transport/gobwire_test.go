@@ -1,0 +1,111 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/vtime"
+	"pqs/internal/wire"
+)
+
+// startGobVirtualCluster is startVirtualCluster with both ends speaking the
+// legacy encoding/gob codec.
+func startGobVirtualCluster(t testing.TB, vn *VirtualNet, clk vtime.Clock, n int, timeout time.Duration) (*TCPClient, []*TCPServer) {
+	t.Helper()
+	servers := make([]*TCPServer, 0, n)
+	addrs := make(map[quorum.ServerID]string, n)
+	for i := 0; i < n; i++ {
+		id := quorum.ServerID(i)
+		l, err := vn.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, ServeListener(l, upperHandler{}, TCPOptions{Clock: clk, Codec: CodecGob}))
+		addrs[id] = l.Addr().String()
+	}
+	client := NewTCPClientOpts(addrs, TCPClientOptions{
+		Clock:       clk,
+		Dial:        vn.Dialer(ClientSource),
+		CallTimeout: timeout,
+		Codec:       CodecGob,
+	})
+	return client, servers
+}
+
+// TestVirtualTCPGobRoundTrip is the CodecGob twin of the virtual round-trip
+// test: the legacy gob framing must work over virtual-time byte streams
+// with latency, including the lifecycle pool.
+func TestVirtualTCPGobRoundTrip(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 43)
+		vn.SetLatency(time.Millisecond, 5*time.Millisecond)
+		client, servers := startGobVirtualCluster(t, vn, sc, 3, time.Second)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+		for i := 0; i < 9; i++ {
+			id := quorum.ServerID(i % 3)
+			key := fmt.Sprintf("gk%d", i)
+			resp, err := client.Call(ctx, id, wire.ReadRequest{Key: key})
+			if err != nil {
+				t.Fatalf("gob call %d: %v", i, err)
+			}
+			if rr := resp.(wire.ReadReply); string(rr.Value) != strings.ToUpper(key) {
+				t.Fatalf("gob call %d: got %q", i, rr.Value)
+			}
+		}
+	})
+}
+
+// TestVirtualTCPGobDeterminism replays a seeded gob workload twice and
+// requires identical completion stamps and chunk traffic — gob's framing
+// (its own buffered writer, self-describing streams) must not leak
+// scheduling nondeterminism into the virtual wire.
+func TestVirtualTCPGobDeterminism(t *testing.T) {
+	type trace struct {
+		stamps []time.Duration
+		chunks uint64
+	}
+	run := func() trace {
+		sc := vtime.NewSimClock()
+		var tr trace
+		sc.Run(func() {
+			vn := NewVirtualNet(sc, 47)
+			vn.SetLatency(time.Millisecond, 7*time.Millisecond)
+			vn.SetJitter(300 * time.Microsecond)
+			client, servers := startGobVirtualCluster(t, vn, sc, 4, time.Second)
+			ctx := context.Background()
+			for i := 0; i < 20; i++ {
+				id := quorum.ServerID(i % 4)
+				if _, err := client.Call(ctx, id, wire.ReadRequest{Key: fmt.Sprintf("g%d", i)}); err != nil {
+					t.Errorf("gob call %d: %v", i, err)
+				}
+				tr.stamps = append(tr.stamps, sc.Elapsed())
+			}
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+			tr.chunks = vn.Stats().Chunks
+		})
+		return tr
+	}
+	a, b := run(), run()
+	if a.chunks != b.chunks {
+		t.Fatalf("gob chunk traffic diverged: %d vs %d", a.chunks, b.chunks)
+	}
+	for i := range a.stamps {
+		if a.stamps[i] != b.stamps[i] {
+			t.Fatalf("gob call %d completed at %v vs %v", i, a.stamps[i], b.stamps[i])
+		}
+	}
+}

@@ -1,0 +1,402 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pqs/internal/quorum"
+	"pqs/internal/vtime"
+	"pqs/internal/wire"
+)
+
+// lifecycleCluster stands up n virtual TCP servers and a lifecycle-enabled
+// client whose dialer is wrapped by wrap (nil = the plain VirtualNet
+// dialer).
+func lifecycleCluster(t testing.TB, vn *VirtualNet, clk vtime.Clock, n int, lc LifecycleConfig,
+	wrap func(inner func(quorum.ServerID, string) (net.Conn, error)) func(quorum.ServerID, string) (net.Conn, error),
+) (*TCPClient, []*TCPServer) {
+	t.Helper()
+	servers := make([]*TCPServer, 0, n)
+	addrs := make(map[quorum.ServerID]string, n)
+	for i := 0; i < n; i++ {
+		id := quorum.ServerID(i)
+		l, err := vn.Listen(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, ServeListener(l, upperHandler{}, TCPOptions{Clock: clk}))
+		addrs[id] = l.Addr().String()
+	}
+	dial := vn.Dialer(ClientSource)
+	if wrap != nil {
+		dial = wrap(dial)
+	}
+	client := NewTCPClientOpts(addrs, TCPClientOptions{
+		Clock:       clk,
+		Dial:        dial,
+		CallTimeout: time.Second,
+		Lifecycle:   lc,
+	})
+	return client, servers
+}
+
+// TestLifecyclePoolGrowth checks the pool's two laws: sequential traffic
+// stays on one connection, and the pool grows one connection at a time only
+// while every live connection is busy, never past PoolSize.
+func TestLifecyclePoolGrowth(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 11)
+		vn.SetLatency(time.Millisecond, 2*time.Millisecond)
+		client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{PoolSize: 3}, nil)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+
+		for i := 0; i < 5; i++ {
+			if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "seq"}); err != nil {
+				t.Fatalf("sequential call %d: %v", i, err)
+			}
+		}
+		if got := client.Stats().Conns; got != 1 {
+			t.Fatalf("sequential traffic used %d conns, want 1", got)
+		}
+
+		// 8 concurrent calls against PoolSize 3: the pool must grow to the
+		// cap and stop there.
+		sched := vtime.SchedOf(sc)
+		wg := vtime.NewWaitGroup(sc)
+		wg.Add(8)
+		for i := 0; i < 8; i++ {
+			sched.Go(func() {
+				defer wg.Done()
+				if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "par"}); err != nil {
+					t.Errorf("concurrent call: %v", err)
+				}
+			})
+		}
+		wg.Wait()
+		if got := client.Stats().Conns; got < 2 || got > 3 {
+			t.Fatalf("concurrent traffic used %d conns, want 2..3 (PoolSize 3)", got)
+		}
+	})
+}
+
+// TestLifecycleDialCoalescing parks seven callers behind one in-flight dial
+// and requires exactly one dial plus seven coalesced joins, each holding a
+// usable connection afterwards.
+func TestLifecycleDialCoalescing(t *testing.T) {
+	sc := vtime.NewSimClock()
+	var dials atomic.Int32
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 13)
+		sched := vtime.SchedOf(sc)
+		gate := make(chan struct{})
+		wrap := func(inner func(quorum.ServerID, string) (net.Conn, error)) func(quorum.ServerID, string) (net.Conn, error) {
+			return func(to quorum.ServerID, addr string) (net.Conn, error) {
+				dials.Add(1)
+				unpark := sched.Park()
+				<-gate
+				unpark()
+				sched.NoteRecv()
+				return inner(to, addr)
+			}
+		}
+		client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{PoolSize: 1}, wrap)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+
+		wg := vtime.NewWaitGroup(sc)
+		wg.Add(8)
+		for i := 0; i < 8; i++ {
+			sched.Go(func() {
+				defer wg.Done()
+				if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "x"}); err != nil {
+					t.Errorf("coalesced call: %v", err)
+				}
+			})
+		}
+		// The SimClock fires this timer only once every caller is parked:
+		// one inside the gated dial, seven as singleflight waiters.
+		sc.Sleep(time.Millisecond)
+		if got := client.Stats().DialsCoalesced; got != 7 {
+			t.Errorf("before gate open: %d coalesced, want 7", got)
+		}
+		sched.NoteSend()
+		gate <- struct{}{}
+		wg.Wait()
+	})
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dialed %d times, want 1 (singleflight)", got)
+	}
+}
+
+// TestLifecycleBackoffDeterminism replays a redial storm against a dead
+// server twice from one seed and requires the identical jittered backoff
+// schedule: same dial-attempt timestamps, exponentially widening windows,
+// each jittered into [d/2, d).
+func TestLifecycleBackoffDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		sc := vtime.NewSimClock()
+		var stamps []time.Duration
+		sc.Run(func() {
+			vn := NewVirtualNet(sc, 17)
+			wrap := func(func(quorum.ServerID, string) (net.Conn, error)) func(quorum.ServerID, string) (net.Conn, error) {
+				return func(quorum.ServerID, string) (net.Conn, error) {
+					stamps = append(stamps, sc.Elapsed())
+					return nil, errors.New("refused")
+				}
+			}
+			client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{
+				DialBackoffBase: 10 * time.Millisecond,
+				DialBackoffMax:  80 * time.Millisecond,
+				Seed:            99,
+			}, wrap)
+			defer func() {
+				client.Close()
+				for _, s := range servers {
+					s.Close()
+				}
+			}()
+			ctx := context.Background()
+			for i := 0; i < 300; i++ {
+				if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "x"}); err == nil {
+					t.Fatal("call against a refusing dialer succeeded")
+				}
+				sc.Sleep(time.Millisecond)
+			}
+		})
+		return stamps
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("attempt counts diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d at %v vs %v: backoff schedule is not replaying", i, a[i], b[i])
+		}
+	}
+	if len(a) < 4 {
+		t.Fatalf("only %d dial attempts in 300ms; backoff windows too wide", len(a))
+	}
+	// Consecutive failures must widen the window exponentially (jitter keeps
+	// each gap in [d/2, d), so gap i+1 / gap i stays below 4) and never
+	// exceed the cap.
+	for i := 1; i < len(a); i++ {
+		gap := a[i] - a[i-1]
+		if gap < 5*time.Millisecond {
+			t.Fatalf("gap %d = %v below base/2", i, gap)
+		}
+		if gap > 81*time.Millisecond {
+			t.Fatalf("gap %d = %v above DialBackoffMax+poll", i, gap)
+		}
+	}
+	t.Logf("replayed %d dial attempts identically; first gaps: %v %v %v",
+		len(a), a[1]-a[0], a[2]-a[1], a[3]-a[2])
+}
+
+// TestLifecycleBreakerStateMachine walks the breaker through its whole
+// cycle: consecutive dial failures trip it, the open state fast-fails with
+// ErrServerDown (and reports ServerDown), the cooldown half-opens it for one
+// trial whose failure re-opens and whose success closes.
+func TestLifecycleBreakerStateMachine(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 23)
+		var refuse atomic.Bool
+		refuse.Store(true)
+		wrap := func(inner func(quorum.ServerID, string) (net.Conn, error)) func(quorum.ServerID, string) (net.Conn, error) {
+			return func(to quorum.ServerID, addr string) (net.Conn, error) {
+				if refuse.Load() {
+					return nil, errors.New("refused")
+				}
+				return inner(to, addr)
+			}
+		}
+		client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{
+			BreakerThreshold: 3,
+			BreakerCooldown:  50 * time.Millisecond,
+		}, wrap)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+		call := func() error { _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "x"}); return err }
+
+		// Three consecutive dial failures trip the breaker.
+		for i := 0; i < 3; i++ {
+			if client.ServerDown(0) {
+				t.Fatalf("ServerDown before failure %d", i)
+			}
+			if err := call(); err == nil || errors.Is(err, ErrServerDown) {
+				t.Fatalf("failure %d: got %v, want a dial error", i, err)
+			}
+		}
+		if st := client.Stats(); st.BreakerTrips != 1 {
+			t.Fatalf("BreakerTrips = %d, want 1", st.BreakerTrips)
+		}
+		if !client.ServerDown(0) {
+			t.Fatal("breaker tripped but ServerDown is false")
+		}
+		if err := call(); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("open breaker returned %v, want ErrServerDown", err)
+		}
+		if !IsTransient(fmt.Errorf("wrapped: %w", ErrServerDown)) {
+			t.Fatal("ErrServerDown must classify transient")
+		}
+
+		// Cooldown elapses: the half-open trial fails, re-opening it.
+		sc.Sleep(60 * time.Millisecond)
+		if client.ServerDown(0) {
+			t.Fatal("ServerDown still true after the cooldown elapsed")
+		}
+		if err := call(); err == nil || errors.Is(err, ErrServerDown) {
+			t.Fatalf("half-open trial: got %v, want a dial error", err)
+		}
+		if err := call(); !errors.Is(err, ErrServerDown) {
+			t.Fatalf("after failed trial: got %v, want ErrServerDown", err)
+		}
+		if st := client.Stats(); st.BreakerHalfOpens != 1 || st.BreakerTrips != 2 {
+			t.Fatalf("after failed trial: half-opens=%d trips=%d, want 1/2", st.BreakerHalfOpens, st.BreakerTrips)
+		}
+
+		// The server heals: the next trial closes the breaker for good.
+		refuse.Store(false)
+		sc.Sleep(60 * time.Millisecond)
+		if err := call(); err != nil {
+			t.Fatalf("healed trial: %v", err)
+		}
+		if st := client.Stats(); st.BreakerCloses != 1 {
+			t.Fatalf("BreakerCloses = %d, want 1", st.BreakerCloses)
+		}
+		if client.ServerDown(0) {
+			t.Fatal("ServerDown after the breaker closed")
+		}
+		if err := call(); err != nil {
+			t.Fatalf("post-close call: %v", err)
+		}
+	})
+}
+
+// TestLifecycleIdleReapAndProbe runs the maintenance loop under a SimClock:
+// idle connections get health-check pings on the probe period, a crashed
+// server fails its probe (evicting the connection and counting a breaker
+// failure), and a connection idle past IdleTimeout is reaped.
+func TestLifecycleIdleReapAndProbe(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 29)
+		vn.SetLatency(time.Millisecond, 2*time.Millisecond)
+		client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{
+			PoolSize:     2,
+			ProbeEvery:   20 * time.Millisecond,
+			ProbeTimeout: 10 * time.Millisecond,
+			IdleTimeout:  100 * time.Millisecond,
+		}, nil)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+		if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "x"}); err != nil {
+			t.Fatal(err)
+		}
+
+		sc.Sleep(50 * time.Millisecond)
+		st := client.Stats()
+		if st.ProbesSent == 0 {
+			t.Fatal("no health probes sent while the connection idled")
+		}
+		if st.ProbeFailures != 0 {
+			t.Fatalf("%d probe failures against a healthy server", st.ProbeFailures)
+		}
+
+		sc.Sleep(200 * time.Millisecond)
+		if st := client.Stats(); st.ConnsReaped == 0 {
+			t.Fatal("idle connection was never reaped")
+		}
+
+		// A fresh connection against a server that hangs (stalled: chunks
+		// silently swallowed, the conn stays up): the next probe times out,
+		// counting a failure and evicting the connection.
+		if _, err := client.Call(ctx, 0, wire.ReadRequest{Key: "y"}); err != nil {
+			t.Fatal(err)
+		}
+		vn.Stall(0)
+		sc.Sleep(50 * time.Millisecond)
+		if st := client.Stats(); st.ProbeFailures == 0 {
+			t.Fatal("probe against a stalled server never failed")
+		}
+		vn.Unstall(0)
+	})
+}
+
+// TestRPCErrorClassification covers the typed error path end to end over
+// the virtual wire: a handler error comes back as an *RPCError with the
+// legacy message text, classified permanent (upperHandler's failure is a
+// malformed-request error), while the breaker ignores it — the server
+// answered, so it is alive.
+func TestRPCErrorClassification(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 31)
+		client, servers := lifecycleCluster(t, vn, sc, 1, LifecycleConfig{BreakerThreshold: 2}, nil)
+		defer func() {
+			client.Close()
+			for _, s := range servers {
+				s.Close()
+			}
+		}()
+		ctx := context.Background()
+		for i := 0; i < 5; i++ {
+			_, err := client.Call(ctx, 0, wire.WriteRequest{Key: "k"}) // upperHandler rejects non-reads
+			if err == nil {
+				t.Fatal("handler error did not surface")
+			}
+			var rpc *RPCError
+			if !errors.As(err, &rpc) {
+				t.Fatalf("got %T (%v), want *RPCError", err, err)
+			}
+			if rpc.Server != 0 || rpc.Msg == "" {
+				t.Fatalf("RPCError = %+v", rpc)
+			}
+			if want := fmt.Sprintf("server %d: %s", rpc.Server, rpc.Msg); err.Error() != want {
+				t.Fatalf("error text %q, want legacy form %q", err.Error(), want)
+			}
+			if !IsPermanent(err) {
+				t.Fatalf("handler rejection %v not classified permanent", err)
+			}
+			if IsTransient(err) {
+				t.Fatalf("permanent RPCError %v classified transient", err)
+			}
+		}
+		// Five server-answered errors, threshold two: the breaker must not
+		// have counted them.
+		if st := client.Stats(); st.BreakerTrips != 0 {
+			t.Fatalf("breaker tripped on server-answered RPC errors: %d", st.BreakerTrips)
+		}
+		if client.ServerDown(0) {
+			t.Fatal("ServerDown after RPC errors only")
+		}
+	})
+}

@@ -181,6 +181,25 @@ type TCPStats struct {
 	// opaque).
 	Flushes         uint64
 	WritesCoalesced uint64
+	// Connection-lifecycle counters, all zero unless the client was built
+	// with an active TCPClientOptions.Lifecycle. DialsCoalesced counts
+	// callers that joined another caller's in-flight dial instead of
+	// dialing themselves (singleflight); BackoffFastFails counts calls
+	// failed immediately inside a redial-backoff window.
+	DialsCoalesced   uint64
+	BackoffFastFails uint64
+	// BreakerTrips, BreakerHalfOpens and BreakerCloses count circuit
+	// breaker transitions; BreakerFastFails counts calls an open breaker
+	// rejected with ErrServerDown.
+	BreakerTrips     uint64
+	BreakerHalfOpens uint64
+	BreakerCloses    uint64
+	BreakerFastFails uint64
+	// ConnsReaped counts idle pool connections closed by the maintenance
+	// loop; ProbesSent/ProbeFailures count its health-check ping frames.
+	ConnsReaped   uint64
+	ProbesSent    uint64
+	ProbeFailures uint64
 	// Codec aggregates the per-connection message-codec counters (closed
 	// connections included). See ConnCodecStats.
 	Codec ConnCodecStats
@@ -189,6 +208,12 @@ type TCPStats struct {
 // tcpCounters is the shared mutable form of TCPStats' frame counters.
 type tcpCounters struct {
 	conns, framesRead, framesWritten, bytesRead, bytesWritten, flushes atomic.Uint64
+
+	// Lifecycle counters (client side only; see TCPStats).
+	dialsCoalesced, backoffFastFails       atomic.Uint64
+	breakerTrips, breakerHalfOpens         atomic.Uint64
+	breakerCloses, breakerFastFails        atomic.Uint64
+	connsReaped, probesSent, probeFailures atomic.Uint64
 }
 
 func (c *tcpCounters) snapshot() TCPStats {
@@ -199,6 +224,16 @@ func (c *tcpCounters) snapshot() TCPStats {
 		BytesRead:     c.bytesRead.Load(),
 		BytesWritten:  c.bytesWritten.Load(),
 		Flushes:       c.flushes.Load(),
+
+		DialsCoalesced:   c.dialsCoalesced.Load(),
+		BackoffFastFails: c.backoffFastFails.Load(),
+		BreakerTrips:     c.breakerTrips.Load(),
+		BreakerHalfOpens: c.breakerHalfOpens.Load(),
+		BreakerCloses:    c.breakerCloses.Load(),
+		BreakerFastFails: c.breakerFastFails.Load(),
+		ConnsReaped:      c.connsReaped.Load(),
+		ProbesSent:       c.probesSent.Load(),
+		ProbeFailures:    c.probeFailures.Load(),
 	}
 	// Each flush covers at least one frame, so the difference is exactly
 	// the frames that rode along on another frame's flush.
@@ -460,7 +495,7 @@ type TCPServer struct {
 	baseCtx   context.Context
 	cancelCtx context.CancelFunc
 
-	stats tcpCounters
+	stats    tcpCounters
 	codecReg codecRegistry
 
 	mu     sync.Mutex
@@ -593,6 +628,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		reply := wire.ReplyEnvelope{ID: env.ID, Payload: resp}
 		if err != nil {
 			reply.Err = err.Error()
+			// Classify the failure on the wire so clients can stop
+			// retrying what retrying cannot fix (see wire.ErrKind*).
+			reply.ErrKind = wire.ErrKindPermanent
+			if IsTransient(err) {
+				reply.ErrKind = wire.ErrKindTransient
+			}
 			reply.Payload = nil
 		}
 		// A write error means the connection is going away; the read loop
@@ -606,9 +647,11 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		frame, err := wire.AppendReplyEnvelope(*bp, reply)
 		if err != nil {
 			// The handler returned a payload the closed binary codec cannot
-			// carry; surface that as an RPC error instead of dropping the
-			// reply (the client would hang).
-			frame, _ = wire.AppendReplyEnvelope((*bp)[:0], wire.ReplyEnvelope{ID: env.ID, Err: err.Error()})
+			// carry; surface that as a permanent RPC error instead of
+			// dropping the reply (the client would hang).
+			frame, _ = wire.AppendReplyEnvelope((*bp)[:0], wire.ReplyEnvelope{
+				ID: env.ID, Err: err.Error(), ErrKind: wire.ErrKindPermanent,
+			})
 		}
 		cc.countEncode(len(frame))
 		_ = w.writeFrame(frame)
@@ -714,24 +757,36 @@ type TCPClientOptions struct {
 	// prompt error can surface — a corrupted length prefix, a reply whose
 	// id was flipped in flight — without wall-clock deadlines.
 	CallTimeout time.Duration
+	// Lifecycle tunes the per-server connection lifecycle: pool size, idle
+	// reaping, health probes, dial backoff and the circuit breaker. The
+	// zero value preserves the legacy single-connection behavior exactly.
+	Lifecycle LifecycleConfig
 }
 
-// TCPClient implements Transport over TCP. It maintains one multiplexed
-// connection per server, established lazily and re-dialed after failures.
+// TCPClient implements Transport over TCP. It maintains a small pool of
+// multiplexed connections per server (one by default), established lazily
+// and re-dialed after failures, with optional dial coalescing, jittered
+// redial backoff and a per-server circuit breaker (see LifecycleConfig).
 // Concurrent requests on one connection are coalesced into shared flushes.
 type TCPClient struct {
-	addrs map[quorum.ServerID]string
-	codec Codec
-	clock vtime.Clock
-	sched vtime.Sched
-	dial  func(to quorum.ServerID, addr string) (net.Conn, error)
+	addrs       map[quorum.ServerID]string
+	codec       Codec
+	clock       vtime.Clock
+	sched       vtime.Sched
+	dial        func(to quorum.ServerID, addr string) (net.Conn, error)
 	callTimeout time.Duration
+	lifecycle   LifecycleConfig
 
 	stats    tcpCounters
 	codecReg codecRegistry
 
+	// maintDone/maintStopped bracket the maintenance loop's lifetime; both
+	// are nil when the lifecycle config needs no background maintenance.
+	maintDone    chan struct{}
+	maintStopped chan struct{}
+
 	mu     sync.Mutex
-	conns  map[quorum.ServerID]*tcpConn
+	states map[quorum.ServerID]*serverState
 	closed bool
 	nextID atomic.Uint64
 }
@@ -763,13 +818,24 @@ func NewTCPClientOpts(addrs map[quorum.ServerID]string, o TCPClientOptions) *TCP
 			return net.Dial("tcp", addr)
 		}
 	}
-	return &TCPClient{
+	c := &TCPClient{
 		addrs: cp, codec: o.Codec,
 		clock: clk, sched: vtime.SchedOf(clk),
 		dial: dial, callTimeout: o.CallTimeout,
-		conns: make(map[quorum.ServerID]*tcpConn),
+		lifecycle: o.Lifecycle,
+		states:    make(map[quorum.ServerID]*serverState),
 	}
+	if c.lifecycle.maintenance() {
+		c.maintDone = make(chan struct{})
+		c.maintStopped = make(chan struct{})
+		c.sched.Go(c.maintainLoop)
+	}
+	return c
 }
+
+// newWaitGroup returns a WaitGroup on the client's clock (virtual-time
+// aware under a SimClock).
+func (c *TCPClient) newWaitGroup() *vtime.WaitGroup { return vtime.NewWaitGroup(c.clock) }
 
 var _ Transport = (*TCPClient)(nil)
 
@@ -788,16 +854,21 @@ func (c *TCPClient) Stats() TCPStats {
 // connections.
 func (c *TCPClient) ConnStats() []ConnCodecStats { return c.codecReg.perConn() }
 
-// Call implements Transport.
+// Call implements Transport. Transport-level outcomes (dial failures, send
+// errors, torn connections, timeouts) feed the server's circuit breaker;
+// server-answered RPC errors count as reachability successes and surface
+// as *RPCError carrying the wire's transient/permanent classification.
 func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
-	conn, err := c.conn(to)
+	conn, st, err := c.acquire(to)
 	if err != nil {
 		return nil, err
 	}
+	defer st.release(conn)
 	id := c.nextID.Add(1)
 	ch, err := conn.send(id, req)
 	if err != nil {
-		c.evict(to, conn)
+		st.evict(conn)
+		st.recordFailure()
 		return nil, err
 	}
 	var timeoutC <-chan time.Time
@@ -806,19 +877,24 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any,
 		defer t.Stop()
 		timeoutC = t.C
 	}
+	reply := func(r wire.ReplyEnvelope, ok bool) (any, error) {
+		if !ok {
+			st.evict(conn)
+			st.recordFailure()
+			return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
+		}
+		st.recordSuccess()
+		if r.Err != "" {
+			return nil, &RPCError{Server: to, Kind: r.ErrKind, Msg: r.Err}
+		}
+		return r.Payload, nil
+	}
 	unpark := c.sched.Park()
 	select {
 	case r, ok := <-ch:
 		unpark()
 		c.sched.NoteRecv()
-		if !ok {
-			c.evict(to, conn)
-			return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
-		}
-		if r.Err != "" {
-			return nil, fmt.Errorf("server %d: %s", to, r.Err)
-		}
-		return r.Payload, nil
+		return reply(r, ok)
 	case <-timeoutC:
 		unpark()
 		c.sched.NoteRecv()
@@ -830,19 +906,13 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any,
 			// race the select happened to pick.
 			r, ok := <-ch
 			c.sched.NoteRecv()
-			if !ok {
-				c.evict(to, conn)
-				return nil, fmt.Errorf("server %d: %w", to, ErrClosed)
-			}
-			if r.Err != "" {
-				return nil, fmt.Errorf("server %d: %s", to, r.Err)
-			}
-			return r.Payload, nil
+			return reply(r, ok)
 		}
 		// The conn is suspect (slow, stalled, or its framing desynced by a
 		// corrupted prefix): the call is abandoned and the conn torn down so
 		// the next call re-dials a clean stream.
-		c.evict(to, conn)
+		st.evict(conn)
+		st.recordFailure()
 		return nil, fmt.Errorf("server %d: %w", to, errCallTimeout)
 	case <-ctx.Done():
 		unpark()
@@ -855,55 +925,82 @@ func (c *TCPClient) Call(ctx context.Context, to quorum.ServerID, req any) (any,
 			<-ch
 			c.sched.NoteRecv()
 		}
+		// Cancellation proves nothing about the server; release a held
+		// half-open trial slot without moving the breaker.
+		st.recordNeutral()
 		return nil, ctx.Err()
 	}
 }
 
-// Close closes all connections. Subsequent calls fail.
+// ServerDown implements HealthReporter: true when the server's circuit
+// breaker would reject a call right now with ErrServerDown.
+func (c *TCPClient) ServerDown(id quorum.ServerID) bool {
+	if c.lifecycle.BreakerThreshold <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	st := c.states[id]
+	c.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	return st.down(c.clock.Now(), &c.lifecycle)
+}
+
+// Close closes all connections and stops the maintenance loop. Subsequent
+// calls fail.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
+	states := make([]*serverState, 0, len(c.states))
+	for _, st := range c.states {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	if c.maintDone != nil {
+		c.sched.NoteSend() // the done close is one tracked wake-up
+		close(c.maintDone)
+		unpark := c.sched.Park()
+		<-c.maintStopped
+		unpark()
+		c.sched.NoteRecv()
+	}
 	var first error
-	for id, conn := range c.conns {
-		if err := conn.close(); err != nil && first == nil {
+	for _, st := range states {
+		if err := st.closeAll(); err != nil && first == nil {
 			first = err
 		}
-		delete(c.conns, id)
 	}
 	return first
 }
 
-func (c *TCPClient) conn(to quorum.ServerID) (*tcpConn, error) {
+// acquire resolves the server's lifecycle state and leases a pooled
+// connection from it (dialing as needed).
+func (c *TCPClient) acquire(to quorum.ServerID) (*tcpConn, *serverState, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		c.mu.Unlock()
+		return nil, nil, ErrClosed
 	}
-	if conn, ok := c.conns[to]; ok {
-		return conn, nil
-	}
-	addr, ok := c.addrs[to]
+	st, ok := c.states[to]
 	if !ok {
-		return nil, fmt.Errorf("server %d: %w", to, ErrUnknownServer)
+		if _, known := c.addrs[to]; !known {
+			c.mu.Unlock()
+			return nil, nil, fmt.Errorf("server %d: %w", to, ErrUnknownServer)
+		}
+		st = &serverState{c: c, id: to}
+		c.states[to] = st
 	}
-	raw, err := c.dial(to, addr)
+	c.mu.Unlock()
+	conn, err := st.acquire()
 	if err != nil {
-		return nil, fmt.Errorf("server %d: %w", to, err)
+		return nil, nil, err
 	}
-	c.stats.conns.Add(1)
-	conn := newTCPConn(raw, c.codec, &c.stats, c.sched, c.codecReg.open(), &c.codecReg)
-	c.conns[to] = conn
-	return conn, nil
-}
-
-func (c *TCPClient) evict(to quorum.ServerID, conn *tcpConn) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conns[to] == conn {
-		delete(c.conns, to)
-	}
-	conn.close()
+	return conn, st, nil
 }
 
 // tcpConn is one multiplexed client connection.
@@ -916,10 +1013,34 @@ type tcpConn struct {
 	cc    *codecCounters
 	reg   *codecRegistry
 
+	// leases counts callers currently holding the connection (calls in
+	// flight plus health probes); lastUsed is the clock's UnixNano at the
+	// last release. The maintenance loop reaps only unleased connections
+	// idle past the configured timeout.
+	leases   atomic.Int64
+	lastUsed atomic.Int64
+
 	mu        sync.Mutex
 	pending   map[uint64]chan wire.ReplyEnvelope
 	abandoned map[uint64]struct{}
 	closed    bool
+}
+
+func (c *tcpConn) lease()   { c.leases.Add(1) }
+func (c *tcpConn) unlease() { c.leases.Add(-1) }
+
+// load is the number of live leases (the pool grows only when every
+// connection has at least one).
+func (c *tcpConn) load() int64 { return c.leases.Load() }
+
+// touch stamps the idle clock; idleSince reads it.
+func (c *tcpConn) touch(nanos int64) { c.lastUsed.Store(nanos) }
+func (c *tcpConn) idleSince() int64  { return c.lastUsed.Load() }
+
+func (c *tcpConn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
 }
 
 func newTCPConn(raw net.Conn, codec Codec, stats *tcpCounters, sched vtime.Sched, cc *codecCounters, reg *codecRegistry) *tcpConn {
@@ -1089,6 +1210,7 @@ func IsTransient(err error) bool {
 	}
 	if errors.Is(err, ErrCrashed) || errors.Is(err, ErrDropped) ||
 		errors.Is(err, ErrPartitioned) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrServerDown) ||
 		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return true
 	}

@@ -80,6 +80,9 @@ type VNetStats struct {
 	Dropped   uint64
 	Corrupted uint64
 	Resets    uint64
+	// Stalled counts chunks silently swallowed because an endpoint was
+	// stalled (see Stall).
+	Stalled uint64
 }
 
 // vlinkKey identifies one directed byte path. client is the dialing
@@ -108,6 +111,7 @@ type VirtualNet struct {
 	listeners map[quorum.ServerID]*VListener
 	conns     map[*vconn]struct{} // client-side endpoints of live pairs
 	crashed   map[quorum.ServerID]bool
+	stalled   map[quorum.ServerID]bool
 	blocked   map[blockKey]bool
 	minLat    time.Duration
 	maxLat    time.Duration
@@ -119,7 +123,7 @@ type VirtualNet struct {
 	chunkSeq  map[vlinkKey]uint64
 
 	stats struct {
-		dials, chunks, chunkBytes, dropped, corrupted, resets uint64
+		dials, chunks, chunkBytes, dropped, corrupted, resets, stalled uint64
 	}
 }
 
@@ -136,6 +140,7 @@ func NewVirtualNet(clk vtime.Clock, seed int64) *VirtualNet {
 		listeners: make(map[quorum.ServerID]*VListener),
 		conns:     make(map[*vconn]struct{}),
 		crashed:   make(map[quorum.ServerID]bool),
+		stalled:   make(map[quorum.ServerID]bool),
 		blocked:   make(map[blockKey]bool),
 		perServer: make(map[quorum.ServerID]latRange),
 		chunkSeq:  make(map[vlinkKey]uint64),
@@ -156,6 +161,7 @@ func (vn *VirtualNet) Stats() VNetStats {
 		Dropped:    vn.stats.dropped,
 		Corrupted:  vn.stats.corrupted,
 		Resets:     vn.stats.resets,
+		Stalled:    vn.stats.stalled,
 	}
 }
 
@@ -237,6 +243,38 @@ func (vn *VirtualNet) Recover(id quorum.ServerID) {
 	vn.mu.Lock()
 	defer vn.mu.Unlock()
 	delete(vn.crashed, id)
+}
+
+// Stall marks a server unresponsive without failing anything promptly:
+// chunks to or from it are silently swallowed (the write succeeds, nothing
+// is ever delivered), so in-flight RPCs hang until the caller's own timeout
+// fires. This is the slow/hung-server failure mode — the one a circuit
+// breaker exists for — as opposed to Crash, whose resets fail fast.
+// Existing connections stay up; dials still succeed.
+func (vn *VirtualNet) Stall(id quorum.ServerID) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	vn.stalled[id] = true
+}
+
+// Unstall clears a server's stalled state. Chunks swallowed while stalled
+// are gone for good (their streams will look reset to any framing above).
+func (vn *VirtualNet) Unstall(id quorum.ServerID) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	delete(vn.stalled, id)
+}
+
+// stallVerdict reports whether a chunk on the pair (client, server) should
+// be swallowed, counting it when so.
+func (vn *VirtualNet) stallVerdict(server quorum.ServerID) bool {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	if !vn.stalled[server] {
+		return false
+	}
+	vn.stats.stalled++
+	return true
 }
 
 // Block severs the directed path from→to (either may be Anyone): new dials
@@ -620,6 +658,14 @@ func (c *vconn) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	c.pmu.Unlock()
+
+	// A stalled endpoint swallows the chunk before the fault plane sees it:
+	// the write reports success, no chunkSeq is consumed (so stalling a
+	// server does not perturb the deterministic verdict stream of other
+	// links), and nothing arrives at the peer.
+	if c.net.stallVerdict(c.server) {
+		return len(p), nil
+	}
 
 	v := c.net.verdict(vlinkKey{client: c.client, server: c.server, toServer: c.toServer}, len(p))
 	if v.drop {

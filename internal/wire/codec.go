@@ -446,6 +446,11 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 func AppendReplyEnvelope(b []byte, env ReplyEnvelope) ([]byte, error) {
 	b = appendUvarint(b, env.ID)
 	b = appendString(b, env.Err)
+	if env.Err != "" {
+		// The error-kind byte rides only error replies, keeping success
+		// frames byte-identical to the pre-errkind layout.
+		b = append(b, env.ErrKind)
+	}
 	if env.Payload == nil {
 		return append(b, TagNone), nil
 	}
@@ -462,6 +467,13 @@ func DecodeReplyEnvelope(b []byte) (ReplyEnvelope, error) {
 	}
 	if env.Err, b, err = decodeString(b); err != nil {
 		return env, err
+	}
+	if env.Err != "" {
+		if len(b) < 1 {
+			return env, ErrShortBuffer
+		}
+		env.ErrKind = b[0]
+		b = b[1:]
 	}
 	if len(b) < 1 {
 		return env, ErrShortBuffer

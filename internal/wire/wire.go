@@ -13,8 +13,12 @@
 //	frame     := uvarint(len(body)) body
 //	body      := request | reply
 //	request   := uvarint(ID) tag(1 byte) payload
-//	reply     := uvarint(ID) string(Err) tag(1 byte) payload
+//	reply     := uvarint(ID) string(Err) [errkind(1 byte)] tag(1 byte) payload
 //	string    := uvarint(len) bytes
+//
+// errkind is present exactly when Err is non-empty: one byte carrying the
+// server's transient/permanent classification of its own error (ErrKind*).
+// Success replies are byte-identical to the pre-errkind layout.
 //
 // where uvarint is Go's encoding/binary unsigned varint. The one-byte tag
 // selects the payload layout:
@@ -114,12 +118,29 @@ type Envelope struct {
 	Payload any
 }
 
+// Error kinds carried on reply envelopes: the server's classification of
+// its own error, so clients can tell failures worth retrying from failures
+// no retry can fix without parsing error strings.
+const (
+	// ErrKindUnknown is the zero value: an unclassified error (or a reply
+	// from a peer predating the kind byte on the gob plane).
+	ErrKindUnknown byte = 0
+	// ErrKindTransient marks failures that may succeed on retry: handler
+	// timeouts, shutdown races, overload shedding.
+	ErrKindTransient byte = 1
+	// ErrKindPermanent marks failures retrying cannot fix: codec
+	// mismatches, unsupported payload types, malformed requests.
+	ErrKindPermanent byte = 2
+)
+
 // ReplyEnvelope frames a response on the TCP transport. Err is the
-// server-side error text, empty on success.
+// server-side error text, empty on success; ErrKind classifies it
+// (ErrKind*) and is meaningful only when Err is non-empty.
 type ReplyEnvelope struct {
 	ID      uint64
 	Payload any
 	Err     string
+	ErrKind byte
 }
 
 var registerOnce sync.Once

@@ -192,6 +192,30 @@ func (s *Server) StopDiffusion() {
 // Connections are established lazily, multiplexed, and re-dialed after
 // failures. Close the returned client when done.
 func Dial(addrs map[int]string) (*TCPClient, error) {
+	return DialConfig(addrs, DialOptions{})
+}
+
+// DialOptions configures DialConfig. The zero value of every field selects
+// the production default, so DialConfig(addrs, DialOptions{}) == Dial(addrs).
+type DialOptions struct {
+	// CallTimeout bounds each Call when the caller's context has no
+	// deadline. Zero means the transport default.
+	CallTimeout time.Duration
+	// Lifecycle enables the connection lifecycle layer: a bounded
+	// health-checked connection pool per server, dial coalescing with
+	// jittered exponential backoff, and a per-server circuit breaker whose
+	// open state fails calls immediately with ErrServerDown (which the
+	// register layer uses to promote spares at dispatch time). The zero
+	// value keeps the legacy single-connection-per-server behavior.
+	Lifecycle LifecycleConfig
+	// Clock drives the lifecycle timers (idle reaping, probes, backoff,
+	// breaker cooldown). Nil means the wall clock.
+	Clock vtime.Clock
+}
+
+// DialConfig is Dial with the injectable knobs — notably the connection
+// lifecycle configuration and the clock that drives its timers.
+func DialConfig(addrs map[int]string, opts DialOptions) (*TCPClient, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("pqs: no replica addresses given")
 	}
@@ -202,8 +226,23 @@ func Dial(addrs map[int]string) (*TCPClient, error) {
 		}
 		m[quorum.ServerID(id)] = a
 	}
-	return transport.NewTCPClient(m), nil
+	return transport.NewTCPClientOpts(m, transport.TCPClientOptions{
+		Clock:       opts.Clock,
+		CallTimeout: opts.CallTimeout,
+		Lifecycle:   opts.Lifecycle,
+	}), nil
 }
 
 // TCPClient is the TCP-backed Transport returned by Dial.
 type TCPClient = transport.TCPClient
+
+// LifecycleConfig tunes the per-server connection lifecycle
+// (DialOptions.Lifecycle): pool size, idle reaping, health probes, dial
+// backoff, and the circuit breaker.
+type LifecycleConfig = transport.LifecycleConfig
+
+// ErrServerDown is returned by a lifecycle-enabled TCPClient while a
+// server's circuit breaker is open: the call fails immediately instead of
+// re-dialing a server known to be down. It is classified as transient —
+// retrying elsewhere (a spare quorum member) is exactly the right response.
+var ErrServerDown = transport.ErrServerDown

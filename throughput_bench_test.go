@@ -14,8 +14,10 @@ import (
 	"context"
 	"encoding/gob"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pqs"
 	"pqs/internal/quorum"
@@ -237,4 +239,56 @@ func BenchmarkThroughputTCPWrite(b *testing.B) {
 		_, err := client.Write(ctx, key, benchPayload)
 		return err
 	})
+}
+
+// BenchmarkHighFanIn measures fan-in throughput at the transport layer: one
+// server behind the VirtualNet byte-stream plane (wall clock, zero
+// simulated latency, so the number is the stack's own cost) with at least
+// 1024 concurrent client goroutines spread over a fleet of pooled,
+// lifecycle-enabled TCP clients — the dial-storm regime the connection
+// lifecycle layer exists for, measured instead of chaos-tested.
+func BenchmarkHighFanIn(b *testing.B) {
+	const fleetSize = 32
+	vn := transport.NewVirtualNet(nil, 77)
+	l, err := vn.Listen(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := transport.ServeListener(l, replica.New(0), transport.TCPOptions{})
+	b.Cleanup(func() { srv.Close() })
+	addrs := map[quorum.ServerID]string{0: l.Addr().String()}
+
+	fleet := make([]*transport.TCPClient, fleetSize)
+	for i := range fleet {
+		fleet[i] = transport.NewTCPClientOpts(addrs, transport.TCPClientOptions{
+			Dial: vn.Dialer(quorum.ServerID(1000 + i)),
+			Lifecycle: transport.LifecycleConfig{
+				PoolSize:         4,
+				DialBackoffBase:  time.Millisecond,
+				BreakerThreshold: 8,
+			},
+		})
+		cl := fleet[i]
+		b.Cleanup(func() { cl.Close() })
+	}
+
+	// RunParallel spawns GOMAXPROCS×parallelism goroutines; push that to at
+	// least 1024 concurrent callers against the single server.
+	procs := runtime.GOMAXPROCS(0)
+	b.SetParallelism((1024 + procs - 1) / procs)
+	var goroutineID atomic.Int64
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := fleet[int(goroutineID.Add(1))%fleetSize]
+		for pb.Next() {
+			if _, err := client.Call(ctx, 0, wire.PingRequest{}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportOpsPerSec(b)
 }
