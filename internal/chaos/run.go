@@ -95,12 +95,12 @@ type Config struct {
 
 // Report is the outcome of a chaos run.
 type Report struct {
-	Name     string      `json:"name"`
-	Seed     int64       `json:"seed"`
-	System   string      `json:"system"`
-	Mode     string      `json:"mode"`
-	Ops      int         `json:"ops"`
-	Schedule string      `json:"schedule,omitempty"`
+	Name     string `json:"name"`
+	Seed     int64  `json:"seed"`
+	System   string `json:"system"`
+	Mode     string `json:"mode"`
+	Ops      int    `json:"ops"`
+	Schedule string `json:"schedule,omitempty"`
 	// Transport is the data plane the run used ("mem" or "tcp-virtual").
 	Transport string      `json:"transport"`
 	Check     CheckResult `json:"check"`

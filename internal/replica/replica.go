@@ -191,7 +191,9 @@ func (r *Replica) Handle(_ context.Context, req any) (any, error) {
 	case wire.PingRequest:
 		return wire.PingReply{ServerID: int(r.id)}, nil
 	default:
-		return nil, fmt.Errorf("replica %d: unknown request type %T", r.id, req)
+		// No retry can make an unsupported request type succeed; the marker
+		// travels to clients as wire.ErrKindPermanent.
+		return nil, wire.PermanentError(fmt.Errorf("replica %d: unknown request type %T", r.id, req))
 	}
 }
 

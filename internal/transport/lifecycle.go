@@ -216,7 +216,11 @@ func (s *serverState) acquire() (*tcpConn, error) {
 	}
 	if s.dialing {
 		// Singleflight: join the in-flight dial. The dialer counts us
-		// under s.mu, so its NoteSend/send pair cannot miss us.
+		// under s.mu, so its NoteSend/send pair cannot miss us, and it
+		// leases the new connection once on our behalf before publishing
+		// (so the maintenance loop cannot reap it in the hand-off gap) —
+		// the connection arrives already leased; leasing again here would
+		// leak a lease per waiter and pin the connection busy forever.
 		ch := make(chan dialResult, 1)
 		s.waiters = append(s.waiters, ch)
 		s.mu.Unlock()
@@ -228,7 +232,6 @@ func (s *serverState) acquire() (*tcpConn, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		r.conn.lease()
 		return r.conn, nil
 	}
 	if lc.DialBackoffBase > 0 && now.Before(s.backoffUntil) {
@@ -313,8 +316,10 @@ func (s *serverState) dial(now time.Time) (*tcpConn, error) {
 		s.dialFails = 0
 		s.backoffUntil = time.Time{}
 		s.lastDialErr = nil
-		conn.lease()
+		conn.lease() // the dialer's own lease; released by its Call
 		for range waiters {
+			// One lease per waiter, taken on its behalf before the hand-off
+			// (the waiter returns the conn without leasing again).
 			conn.lease()
 		}
 	} else {

@@ -139,6 +139,25 @@ func TestLifecycleDialCoalescing(t *testing.T) {
 		sched.NoteSend()
 		gate <- struct{}{}
 		wg.Wait()
+
+		// Regression: the dialer leases once per waiter before the hand-off
+		// and the waiter must not lease again. A leaked lease per coalesced
+		// caller would pin load() above zero forever, so the connection
+		// would never be idle-reaped, never health-probed, and always count
+		// as busy for pool growth.
+		client.mu.Lock()
+		st := client.states[0]
+		client.mu.Unlock()
+		st.mu.Lock()
+		if len(st.conns) == 0 {
+			t.Error("pool empty after coalesced calls completed")
+		}
+		for _, cn := range st.conns {
+			if got := cn.load(); got != 0 {
+				t.Errorf("pooled conn load = %d after all coalesced calls returned, want 0", got)
+			}
+		}
+		st.mu.Unlock()
 	})
 	if got := dials.Load(); got != 1 {
 		t.Fatalf("dialed %d times, want 1 (singleflight)", got)
@@ -353,9 +372,9 @@ func TestLifecycleIdleReapAndProbe(t *testing.T) {
 
 // TestRPCErrorClassification covers the typed error path end to end over
 // the virtual wire: a handler error comes back as an *RPCError with the
-// legacy message text, classified permanent (upperHandler's failure is a
-// malformed-request error), while the breaker ignores it — the server
-// answered, so it is alive.
+// legacy message text, classified permanent (upperHandler marks its
+// malformed-request rejection via wire.PermanentError), while the breaker
+// ignores it — the server answered, so it is alive.
 func TestRPCErrorClassification(t *testing.T) {
 	sc := vtime.NewSimClock()
 	sc.Run(func() {
@@ -397,6 +416,51 @@ func TestRPCErrorClassification(t *testing.T) {
 		}
 		if client.ServerDown(0) {
 			t.Fatal("ServerDown after RPC errors only")
+		}
+	})
+}
+
+// TestRPCErrorUnclassifiedStaysRetryable pins the classification default: a
+// handler error the server cannot positively identify travels as
+// ErrKindUnknown, which clients treat as retryable — misfiling a transient
+// app-level error (overload, shutdown) as permanent would stop a quorum
+// re-sample that could succeed.
+func TestRPCErrorUnclassifiedStaysRetryable(t *testing.T) {
+	sc := vtime.NewSimClock()
+	sc.Run(func() {
+		vn := NewVirtualNet(sc, 37)
+		l, err := vn.Listen(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := HandlerFunc(func(context.Context, any) (any, error) {
+			return nil, errors.New("briefly overloaded, try again")
+		})
+		srv := ServeListener(l, h, TCPOptions{Clock: sc})
+		client := NewTCPClientOpts(map[quorum.ServerID]string{0: l.Addr().String()}, TCPClientOptions{
+			Clock:     sc,
+			Dial:      vn.Dialer(ClientSource),
+			Lifecycle: LifecycleConfig{BreakerThreshold: 2},
+		})
+		defer func() {
+			client.Close()
+			srv.Close()
+		}()
+		for i := 0; i < 3; i++ {
+			_, err := client.Call(context.Background(), 0, wire.ReadRequest{Key: "k"})
+			var rpc *RPCError
+			if !errors.As(err, &rpc) {
+				t.Fatalf("got %T (%v), want *RPCError", err, err)
+			}
+			if rpc.Kind != wire.ErrKindUnknown {
+				t.Fatalf("Kind = %d, want ErrKindUnknown", rpc.Kind)
+			}
+			if IsPermanent(err) {
+				t.Fatalf("unclassified error %v classified permanent", err)
+			}
+		}
+		if st := client.Stats(); st.BreakerTrips != 0 {
+			t.Fatalf("breaker counted server-answered errors: %d trips", st.BreakerTrips)
 		}
 	})
 }

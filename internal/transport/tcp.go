@@ -628,11 +628,21 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		reply := wire.ReplyEnvelope{ID: env.ID, Payload: resp}
 		if err != nil {
 			reply.Err = err.Error()
-			// Classify the failure on the wire so clients can stop
-			// retrying what retrying cannot fix (see wire.ErrKind*).
-			reply.ErrKind = wire.ErrKindPermanent
-			if IsTransient(err) {
+			// Classify the failure on the wire so clients can stop retrying
+			// what retrying cannot fix (see wire.ErrKind*). Permanent is
+			// claimed only on positive identification (the handler marked it
+			// via wire.PermanentError or its own Permanent() method) — an
+			// unrecognized error stays Unknown, which clients treat as
+			// retryable, because misfiling a transient overload/shutdown
+			// error as permanent would stop a quorum re-sample that could
+			// succeed.
+			switch {
+			case IsPermanent(err):
+				reply.ErrKind = wire.ErrKindPermanent
+			case IsTransient(err):
 				reply.ErrKind = wire.ErrKindTransient
+			default:
+				reply.ErrKind = wire.ErrKindUnknown
 			}
 			reply.Payload = nil
 		}

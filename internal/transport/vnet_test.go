@@ -149,7 +149,7 @@ type upperHandler struct{}
 func (upperHandler) Handle(_ context.Context, req any) (any, error) {
 	r, ok := req.(wire.ReadRequest)
 	if !ok {
-		return nil, fmt.Errorf("unexpected request %T", req)
+		return nil, wire.PermanentError(fmt.Errorf("unexpected request %T", req))
 	}
 	return wire.ReadReply{Found: true, Value: []byte(strings.ToUpper(r.Key))}, nil
 }

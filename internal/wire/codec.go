@@ -42,6 +42,12 @@ const (
 	TagGossipReply  byte = 6
 	TagPingRequest  byte = 7
 	TagPingReply    byte = 8
+	// TagErrKind is valid only in a reply envelope's payload slot: it
+	// carries no message, just one ErrKind* byte classifying the reply's
+	// error. Minted (rather than appending a field to the envelope layout)
+	// so a decoder predating it fails the frame with ErrUnknownTag instead
+	// of desyncing; see the versioning rule in the package doc.
+	TagErrKind byte = 9
 )
 
 // Codec decode errors.
@@ -441,15 +447,20 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 	return env, nil
 }
 
-// AppendReplyEnvelope appends a reply envelope body to b. A nil payload
-// (error replies) is written as TagNone.
+// AppendReplyEnvelope appends a reply envelope body to b. Error replies
+// carry no payload: their payload slot holds TagNone when the error is
+// unclassified — byte-identical to the pre-ErrKind layout — or TagErrKind
+// plus one classification byte otherwise (a minted tag, per the versioning
+// rule, so decoders predating it fail the frame instead of desyncing).
+// Success replies with a nil payload are written as TagNone.
 func AppendReplyEnvelope(b []byte, env ReplyEnvelope) ([]byte, error) {
 	b = appendUvarint(b, env.ID)
 	b = appendString(b, env.Err)
 	if env.Err != "" {
-		// The error-kind byte rides only error replies, keeping success
-		// frames byte-identical to the pre-errkind layout.
-		b = append(b, env.ErrKind)
+		if env.ErrKind == ErrKindUnknown {
+			return append(b, TagNone), nil
+		}
+		return append(b, TagErrKind, env.ErrKind), nil
 	}
 	if env.Payload == nil {
 		return append(b, TagNone), nil
@@ -458,7 +469,9 @@ func AppendReplyEnvelope(b []byte, env ReplyEnvelope) ([]byte, error) {
 }
 
 // DecodeReplyEnvelope decodes a reply envelope body produced by
-// AppendReplyEnvelope.
+// AppendReplyEnvelope. A payload slot holding TagNone leaves ErrKind at
+// ErrKindUnknown, so replies from peers predating the kind extension decode
+// as unclassified (retryable) rather than failing.
 func DecodeReplyEnvelope(b []byte) (ReplyEnvelope, error) {
 	var env ReplyEnvelope
 	var err error
@@ -468,19 +481,19 @@ func DecodeReplyEnvelope(b []byte) (ReplyEnvelope, error) {
 	if env.Err, b, err = decodeString(b); err != nil {
 		return env, err
 	}
-	if env.Err != "" {
-		if len(b) < 1 {
-			return env, ErrShortBuffer
-		}
-		env.ErrKind = b[0]
-		b = b[1:]
-	}
 	if len(b) < 1 {
 		return env, ErrShortBuffer
 	}
-	if b[0] == TagNone {
+	switch b[0] {
+	case TagNone:
 		b = b[1:]
-	} else {
+	case TagErrKind:
+		if len(b) < 2 {
+			return env, ErrShortBuffer
+		}
+		env.ErrKind = b[1]
+		b = b[2:]
+	default:
 		if env.Payload, b, err = DecodeMessage(b); err != nil {
 			return env, err
 		}

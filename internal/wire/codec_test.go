@@ -149,9 +149,11 @@ func TestBinaryEnvelopeRoundTrip(t *testing.T) {
 func TestBinaryReplyEnvelopeRoundTrip(t *testing.T) {
 	cases := []ReplyEnvelope{
 		{ID: 1, Payload: WriteReply{Stored: true}},
-		{ID: 2, Err: "storage exploded"}, // nil payload, error text
+		{ID: 2, Err: "storage exploded"}, // nil payload, unclassified error
 		{ID: 3, Payload: ReadReply{Found: true, Value: []byte("v"), Stamp: ts.Stamp{Counter: 9, Writer: 2}}},
 		{ID: 1<<64 - 1, Payload: PingReply{ServerID: 41}},
+		{ID: 4, Err: "overloaded", ErrKind: ErrKindTransient},
+		{ID: 5, Err: "bad codec", ErrKind: ErrKindPermanent},
 	}
 	for _, env := range cases {
 		b, err := AppendReplyEnvelope(nil, env)
@@ -162,12 +164,57 @@ func TestBinaryReplyEnvelopeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%+v: %v", env, err)
 		}
-		if got.ID != env.ID || got.Err != env.Err {
+		if got.ID != env.ID || got.Err != env.Err || got.ErrKind != env.ErrKind {
 			t.Fatalf("reply round trip: got %+v want %+v", got, env)
 		}
 		if (got.Payload == nil) != (env.Payload == nil) {
 			t.Fatalf("payload presence: got %+v want %+v", got, env)
 		}
+	}
+}
+
+// TestReplyEnvelopeErrKindSkew pins the version-skew story for the ErrKind
+// extension (tag 9): unclassified error replies stay byte-identical to the
+// legacy layout (TagNone in the payload slot), a new decoder reading a
+// legacy error reply degrades to ErrKindUnknown, and a legacy decoder
+// meeting a classified reply fails loudly with ErrUnknownTag — the package's
+// documented failure mode for layout extensions — never a silent desync.
+func TestReplyEnvelopeErrKindSkew(t *testing.T) {
+	// Unclassified error replies carry TagNone: the exact legacy bytes.
+	legacy, err := AppendReplyEnvelope(nil, ReplyEnvelope{ID: 7, Err: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := legacy[len(legacy)-1]; got != TagNone {
+		t.Fatalf("unclassified error reply ends in tag %d, want TagNone", got)
+	}
+	dec, err := DecodeReplyEnvelope(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.ErrKind != ErrKindUnknown {
+		t.Fatalf("legacy error reply decoded with ErrKind %d, want Unknown", dec.ErrKind)
+	}
+
+	// A classified reply puts TagErrKind in the payload slot; a decoder
+	// predating the tag (simulated by handing the slot to DecodeMessage,
+	// which is exactly what the old DecodeReplyEnvelope did) rejects it.
+	classified, err := AppendReplyEnvelope(nil, ReplyEnvelope{ID: 7, Err: "boom", ErrKind: ErrKindTransient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := classified[len(classified)-2:]
+	if slot[0] != TagErrKind {
+		t.Fatalf("classified error reply payload slot starts with tag %d, want TagErrKind", slot[0])
+	}
+	if _, _, err := DecodeMessage(slot); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("legacy decode of TagErrKind slot: err = %v, want ErrUnknownTag", err)
+	}
+
+	// A truncated classified reply (tag without its kind byte) is rejected
+	// before any field is trusted.
+	if _, err := DecodeReplyEnvelope(classified[:len(classified)-1]); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("truncated ErrKind slot: err = %v, want ErrShortBuffer", err)
 	}
 }
 

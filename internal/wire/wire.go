@@ -13,12 +13,8 @@
 //	frame     := uvarint(len(body)) body
 //	body      := request | reply
 //	request   := uvarint(ID) tag(1 byte) payload
-//	reply     := uvarint(ID) string(Err) [errkind(1 byte)] tag(1 byte) payload
+//	reply     := uvarint(ID) string(Err) tag(1 byte) payload
 //	string    := uvarint(len) bytes
-//
-// errkind is present exactly when Err is non-empty: one byte carrying the
-// server's transient/permanent classification of its own error (ErrKind*).
-// Success replies are byte-identical to the pre-errkind layout.
 //
 // where uvarint is Go's encoding/binary unsigned varint. The one-byte tag
 // selects the payload layout:
@@ -31,8 +27,18 @@
 //	6 GossipReply    uvarint(count) item*
 //	7 PingRequest    (empty)
 //	8 PingReply      varint(serverID)
+//	9 ErrKind        kind(1 byte)          (reply payload slot only)
 //	item             key value stamp sig
 //	stamp            uvarint(counter) uvarint(writer)
+//
+// Tag 9 carries no message: in an error reply's payload slot it holds one
+// byte with the server's classification of its own error (ErrKind*).
+// Unclassified error replies — and every reply from a server predating the
+// extension — use tag 0 there instead, exactly the legacy layout, and
+// decode with ErrKind zero (Unknown, retryable). A decoder predating tag 9
+// that meets a classified reply fails the frame with ErrUnknownTag and
+// closes the connection — the versioning rule's loud failure mode, never a
+// silent desync.
 //
 // found/stored are one byte (0/1); key is a string; value/sig are
 // length-prefixed byte fields where a zero length decodes to nil (matching a
@@ -122,8 +128,9 @@ type Envelope struct {
 // its own error, so clients can tell failures worth retrying from failures
 // no retry can fix without parsing error strings.
 const (
-	// ErrKindUnknown is the zero value: an unclassified error (or a reply
-	// from a peer predating the kind byte on the gob plane).
+	// ErrKindUnknown is the zero value: an error the server did not
+	// positively classify (or a reply from a peer predating the kind
+	// extension). Clients treat Unknown as retryable.
 	ErrKindUnknown byte = 0
 	// ErrKindTransient marks failures that may succeed on retry: handler
 	// timeouts, shutdown races, overload shedding.
@@ -132,6 +139,19 @@ const (
 	// mismatches, unsupported payload types, malformed requests.
 	ErrKindPermanent byte = 2
 )
+
+// PermanentError marks err as a positively-identified permanent failure:
+// retrying the request — or re-sampling a quorum around it — cannot succeed
+// (unsupported request type, malformed payload, codec mismatch). The TCP
+// server carries the classification to clients as ErrKindPermanent; errors
+// not so marked travel as Unknown (or Transient) and stay retryable.
+func PermanentError(err error) error { return &permanentError{err} }
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string   { return e.err.Error() }
+func (e *permanentError) Unwrap() error   { return e.err }
+func (e *permanentError) Permanent() bool { return true }
 
 // ReplyEnvelope frames a response on the TCP transport. Err is the
 // server-side error text, empty on success; ErrKind classifies it
