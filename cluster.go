@@ -19,6 +19,9 @@ type LocalCluster struct {
 	net    *transport.MemNetwork
 	reps   []*replica.Replica
 	gossip *diffusion.Group
+	// cellN is the per-cell replica count when the cluster was built with
+	// NewLocalClusterCells (0 for a classic single-cell cluster).
+	cellN int
 }
 
 // NewLocalCluster starts n correct in-process replicas. seed fixes the
@@ -36,8 +39,51 @@ func NewLocalCluster(n int, seed int64) (*LocalCluster, error) {
 	return c, nil
 }
 
-// N returns the cluster size.
+// NewLocalClusterCells starts cells*n correct in-process replicas laid out
+// for a multi-cell client (ClientConfig.Cells = cells over a System with
+// N = n): cell i owns servers [i*n, (i+1)*n). All cells share one simulated
+// network, so cross-cell faults — a partition between cells, a whole cell
+// crashing — are injected with the usual methods over global server ids
+// (or CrashCell/RecoverCell for whole cells).
+func NewLocalClusterCells(cells, n int, seed int64) (*LocalCluster, error) {
+	if cells <= 0 {
+		return nil, fmt.Errorf("pqs: cell count %d must be positive", cells)
+	}
+	c, err := NewLocalCluster(cells*n, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.cellN = n
+	return c, nil
+}
+
+// N returns the cluster size (total replicas across all cells).
 func (c *LocalCluster) N() int { return len(c.reps) }
+
+// Cells returns the cell count the cluster was laid out for (1 for a
+// classic NewLocalCluster).
+func (c *LocalCluster) Cells() int {
+	if c.cellN == 0 {
+		return 1
+	}
+	return len(c.reps) / c.cellN
+}
+
+// CrashCell crashes every replica of the given cell (see
+// NewLocalClusterCells for the layout). Operations routed to the cell fail
+// until RecoverCell; other cells are untouched.
+func (c *LocalCluster) CrashCell(cell int) {
+	for i := cell * c.cellN; i < (cell+1)*c.cellN; i++ {
+		c.Crash(i)
+	}
+}
+
+// RecoverCell recovers every replica of the given cell.
+func (c *LocalCluster) RecoverCell(cell int) {
+	for i := cell * c.cellN; i < (cell+1)*c.cellN; i++ {
+		c.Recover(i)
+	}
+}
 
 // Transport returns the client-side transport for this cluster.
 func (c *LocalCluster) Transport() Transport { return c.net }
@@ -55,6 +101,14 @@ func (c *LocalCluster) SetDropProb(p float64) { c.net.SetDropProb(p) }
 // SetLatency gives every call a uniformly random latency in [min, max],
 // the substrate for tail-latency experiments. Zero max disables delay.
 func (c *LocalCluster) SetLatency(min, max time.Duration) { c.net.SetLatency(min, max) }
+
+// SetServerConcurrency caps every replica at k calls in service at once
+// (0 removes the cap). With a cap, the SetLatency range is spent while
+// holding one of the replica's k slots — latency becomes service time, so
+// each replica has a throughput ceiling of k/latency calls per second and
+// adding cells adds real, measurable capacity (the multi-cell scaling
+// benchmarks depend on this model).
+func (c *LocalCluster) SetServerConcurrency(k int) { c.net.SetServerConcurrency(k) }
 
 // SetServerLatency overrides the latency range of a single server, turning
 // it into a straggler (or a fast path). A zero max restores the global

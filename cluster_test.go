@@ -60,3 +60,62 @@ func TestLocalClusterValidation(t *testing.T) {
 	cluster.MakeCorrect(0)
 	cluster.SetDropProb(0)
 }
+
+// TestMultiCellFacade exercises the cells configuration end to end through
+// the public API: a 4-cell cluster, keyspace routing, whole-cell crash
+// isolation and recovery.
+func TestMultiCellFacade(t *testing.T) {
+	const cells, n, q = 4, 15, 8
+	sys, err := New(Config{N: n, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster, err := NewLocalClusterCells(cells, n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cluster.N() != cells*n || cluster.Cells() != cells {
+		t.Fatalf("cluster layout %d servers / %d cells", cluster.N(), cluster.Cells())
+	}
+	client, err := NewClient(ClientConfig{
+		System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 1,
+		Cells: cells,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Cells() != cells {
+		t.Fatalf("client.Cells() = %d, want %d", client.Cells(), cells)
+	}
+	ctx := context.Background()
+	keys := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for _, k := range keys {
+		if _, err := client.Write(ctx, k, []byte("v-"+k)); err != nil {
+			t.Fatalf("write %q: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		r, err := client.Read(ctx, k)
+		if err != nil || !r.Found || string(r.Value) != "v-"+k {
+			t.Fatalf("read %q: %+v %v", k, r, err)
+		}
+	}
+	// Crash one whole cell: its keys fail, keys in other cells survive.
+	victim := client.CellFor(keys[0])
+	cluster.CrashCell(victim)
+	if _, err := client.Read(ctx, keys[0]); err == nil {
+		t.Fatalf("read from fully-crashed cell %d succeeded", victim)
+	}
+	for _, k := range keys[1:] {
+		if client.CellFor(k) == victim {
+			continue
+		}
+		if r, err := client.Read(ctx, k); err != nil || string(r.Value) != "v-"+k {
+			t.Fatalf("cell %d crash leaked into key %q: %+v %v", victim, k, r, err)
+		}
+	}
+	cluster.RecoverCell(victim)
+	if r, err := client.Read(ctx, keys[0]); err != nil || string(r.Value) != "v-"+keys[0] {
+		t.Fatalf("read after RecoverCell: %+v %v", r, err)
+	}
+}

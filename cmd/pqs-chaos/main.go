@@ -123,6 +123,19 @@ func buildEpsilonDoc(rep matrixReport) epsilonDoc {
 		if sc.Deterministic != nil {
 			m["deterministic"] = boolMetric(*sc.Deterministic)
 		}
+		// Multi-cell scenarios carry one ε section per quorum cell: the
+		// checker enforces the theorem bound per cell (a hot cell fails the
+		// run even when the global average passes), and the trend document
+		// records each cell's measured ε so a cell-local drift is visible
+		// across PRs.
+		for _, cell := range c.Cells {
+			p := fmt.Sprintf("cell_%d_", cell.Cell)
+			m[p+"epsilon"] = cell.EligibleEpsilon
+			m[p+"eligible_reads"] = float64(cell.EligibleReads)
+			m[p+"eligible_bad"] = float64(cell.EligibleBad)
+			m[p+"p_value"] = cell.PValue
+			m[p+"pass"] = boolMetric(cell.Pass)
+		}
 		doc.Scenarios = append(doc.Scenarios, epsilonEntry{Name: sc.Name, Transport: sc.Transport, Metrics: m})
 	}
 	return doc
@@ -231,9 +244,20 @@ func main() {
 			if rep.Virtual {
 				virtual = fmt.Sprintf("  [virtual: %.1fs simulated in %.2fs]", rep.SimSeconds, wall)
 			}
-			fmt.Fprintf(os.Stderr, "%-28s %-11s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g%s\n",
+			cells := ""
+			if n := len(rep.Check.Cells); n > 0 {
+				worst := rep.Check.Cells[0]
+				for _, c := range rep.Check.Cells[1:] {
+					if c.EligibleEpsilon > worst.EligibleEpsilon {
+						worst = c
+					}
+				}
+				cells = fmt.Sprintf("  [%d cells; worst cell %d ε=%.5f p=%.3g]",
+					n, worst.Cell, worst.EligibleEpsilon, worst.PValue)
+			}
+			fmt.Fprintf(os.Stderr, "%-28s %-11s %s  ε=%.5f (eligible %d/%d) bound=%.3g p=%.3g%s%s\n",
 				sc.Name, tr, status, rep.Check.EligibleEpsilon, rep.Check.EligibleBad,
-				rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue, virtual)
+				rep.Check.EligibleReads, rep.Check.Bound, rep.Check.PValue, cells, virtual)
 		}
 	}
 	if ran == 0 {

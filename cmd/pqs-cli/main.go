@@ -9,6 +9,13 @@
 //
 // The universe size is the number of servers given; -q (or -eps) selects
 // the quorum size exactly as in the library.
+//
+// With -cells C the server list is read as C independent quorum cells of
+// n = len(servers)/C replicas each (cell i owns ids [i·n, (i+1)·n)), and
+// every key is routed to one cell by consistent hashing — the multi-tenant
+// keyspace layout. -q/-eps then size the per-cell quorum:
+//
+//	pqs-cli -servers 0=..,1=..,2=..,3=..,4=..,5=.. -cells 2 -q 2 put greeting hello
 package main
 
 import (
@@ -37,6 +44,8 @@ func run() error {
 	b := flag.Int("b", 0, "byzantine servers tolerated (masking)")
 	eps := flag.Float64("eps", 1e-3, "target consistency error")
 	q := flag.Int("q", 0, "explicit quorum size (overrides -eps)")
+	cells := flag.Int("cells", 1, "partition the keyspace across this many quorum cells; "+
+		"the server list must hold cells×n replicas, cell i owning ids [i·n, (i+1)·n)")
 	writer := flag.Uint("writer", 1, "writer id for puts")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 	stats := flag.Bool("stats", false, "print the client's AccessStats as JSON after the operation")
@@ -61,7 +70,15 @@ func run() error {
 		return fmt.Errorf("unsupported mode %q (dissemination needs key distribution; use the library)", *modeStr)
 	}
 
-	sys, err := pqs.New(pqs.Config{N: len(addrs), Mode: mode, B: *b, Epsilon: *eps, Q: *q})
+	if *cells < 1 {
+		return fmt.Errorf("-cells %d must be at least 1", *cells)
+	}
+	if len(addrs)%*cells != 0 {
+		return fmt.Errorf("-cells %d does not divide the %d-server universe", *cells, len(addrs))
+	}
+	// The per-cell universe is what the quorum construction sees: each cell
+	// is an independent PQS over its own n servers.
+	sys, err := pqs.New(pqs.Config{N: len(addrs) / *cells, Mode: mode, B: *b, Epsilon: *eps, Q: *q})
 	if err != nil {
 		return err
 	}
@@ -75,6 +92,7 @@ func run() error {
 		Transport: tc,
 		WriterID:  uint32(*writer),
 		Seed:      time.Now().UnixNano(),
+		Cells:     *cells,
 	})
 	if err != nil {
 		return err
@@ -83,6 +101,10 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
+	cellNote := ""
+	if *cells > 1 {
+		cellNote = fmt.Sprintf(", cell %d", client.CellFor(args[1]))
+	}
 	switch args[0] {
 	case "get":
 		r, err := client.Read(ctx, args[1])
@@ -90,11 +112,11 @@ func run() error {
 			return err
 		}
 		if !r.Found {
-			fmt.Printf("(not found; %d/%d replied)\n", r.Replies, len(r.Quorum))
+			fmt.Printf("(not found; %d/%d replied%s)\n", r.Replies, len(r.Quorum), cellNote)
 			return nil
 		}
-		fmt.Printf("%s\t(stamp %s, %d vouchers, %d/%d replied)\n",
-			r.Value, r.Stamp, r.Vouchers, r.Replies, len(r.Quorum))
+		fmt.Printf("%s\t(stamp %s, %d vouchers, %d/%d replied%s)\n",
+			r.Value, r.Stamp, r.Vouchers, r.Replies, len(r.Quorum), cellNote)
 	case "put":
 		if len(args) < 3 {
 			return fmt.Errorf("put needs <key> <value>")
@@ -103,7 +125,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("ok\t(stamp %s, %d/%d acked)\n", w.Stamp, len(w.Acked), len(w.Quorum))
+		fmt.Printf("ok\t(stamp %s, %d/%d acked%s)\n", w.Stamp, len(w.Acked), len(w.Quorum), cellNote)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

@@ -10,6 +10,8 @@
 //	pqsd -id 1 -listen 127.0.0.1:7001 \
 //	     -peers 0=127.0.0.1:7000,2=127.0.0.1:7002 -gossip-interval 500ms
 //	pqsd -id 0 -listen 127.0.0.1:7000 -admin 127.0.0.1:7100
+//	pqsd -cell 2 -cell-size 25 -id 3 -listen 127.0.0.1:7053
+//	                               # multi-cell layout: global id 53
 //
 // With -admin, the replica serves an HTTP observability endpoint:
 // GET /stats returns store shard counters, TCP frame/flush-coalescing
@@ -41,7 +43,9 @@ func main() {
 }
 
 func run() error {
-	id := flag.Int("id", 0, "server id (position in the universe)")
+	id := flag.Int("id", 0, "server id (position in the universe, or within the cell with -cell-size)")
+	cell := flag.Int("cell", 0, "quorum cell this replica belongs to (multi-cell keyspace layouts)")
+	cellSize := flag.Int("cell-size", 0, "replicas per cell; when set, the global server id is cell·cell-size+id")
 	listen := flag.String("listen", "127.0.0.1:0", "listen address")
 	admin := flag.String("admin", "", "admin HTTP address serving /stats and /healthz (optional)")
 	peers := flag.String("peers", "", "comma-separated id=host:port peers for gossip (optional)")
@@ -50,15 +54,32 @@ func run() error {
 	seed := flag.Int64("diffusion-seed", 0, "seed for gossip peer selection (0 draws from crypto/rand)")
 	flag.Parse()
 
+	// Multi-cell layouts address replicas by global id: cell i of size n
+	// owns ids [i·n, (i+1)·n). -cell/-cell-size compute the global id so a
+	// deployment can number replicas within their cell.
+	globalID := *id
+	if *cellSize > 0 {
+		if *cell < 0 || *id < 0 || *id >= *cellSize {
+			return fmt.Errorf("-id %d must be in [0, cell-size %d) when -cell-size is set", *id, *cellSize)
+		}
+		globalID = *cell**cellSize + *id
+	} else if *cell != 0 {
+		return fmt.Errorf("-cell requires -cell-size")
+	}
+
 	srv, err := pqs.ListenAndServeConfig(pqs.ServerConfig{
-		ID:            *id,
+		ID:            globalID,
 		Addr:          *listen,
 		DiffusionSeed: *seed,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("pqsd: replica %d serving on %s\n", *id, srv.Addr())
+	if *cellSize > 0 {
+		fmt.Printf("pqsd: replica %d (cell %d, member %d) serving on %s\n", globalID, *cell, *id, srv.Addr())
+	} else {
+		fmt.Printf("pqsd: replica %d serving on %s\n", globalID, srv.Addr())
+	}
 
 	if *admin != "" {
 		al, err := net.Listen("tcp", *admin)

@@ -19,10 +19,10 @@ func TestLocalClusterHedgedRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, err := NewClient(ClientConfig{
-		System:     sys,
-		Transport:  cluster.Transport(),
-		WriterID: 1,
-		Seed:     7,
+		System:    sys,
+		Transport: cluster.Transport(),
+		WriterID:  1,
+		Seed:      7,
 		// 8 spares: with 8/25 stragglers the eager benign read needs 7 fast
 		// repliers among the 15 dispatchable servers, which every seed-7
 		// sample satisfies with margin (worst draw leaves 9 fast).

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"flag"
+	"fmt"
 	"testing"
 
 	"pqs/internal/register"
@@ -296,5 +297,63 @@ func TestMostSampledDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("MostSampled not deterministic: %v vs %v", a, b)
 		}
+	}
+}
+
+// TestPerCellBoundHasTeeth is the per-cell negative test: one cell whose
+// measured ε blows its per-cell bound must fail the run even though the
+// GLOBAL average stays comfortably inside the same bound. A synthetic
+// 4-cell history gives every cell 1000 eligible reads; cell 2 returns ⊥
+// for 100 of them (ε=0.10) while the rest are perfect, so the global rate
+// is 100/4000 = 0.025 — under the 0.03 bound the global binomial test
+// happily accepts.
+func TestPerCellBoundHasTeeth(t *testing.T) {
+	const cells, readsPerCell, badInCell2 = 4, 1000, 100
+	st := func(c uint64) ts.Stamp { return ts.Stamp{Counter: c, Writer: 1} }
+	var h History
+	seq := 0
+	for c := 0; c < cells; c++ {
+		key := fmt.Sprintf("cell-key-%d", c)
+		h = append(h, Op{Seq: seq, Kind: OpWrite, Key: key, Value: "v", Stamp: st(1), Full: true, Cell: c})
+		seq++
+		for i := 0; i < readsPerCell; i++ {
+			op := Op{Seq: seq, Kind: OpRead, Key: key, Cell: c}
+			if c == 2 && i < badInCell2 {
+				op.Found = false // stale: ⊥ after a completed full write
+			} else {
+				op.Found, op.Value, op.Stamp = true, "v", st(1)
+			}
+			h = append(h, op)
+			seq++
+		}
+	}
+	const bound = 0.03
+	// Without per-cell accounting the run passes: the global average hides
+	// the hot cell.
+	global := Check(h, CheckConfig{Mode: register.Benign, Bound: bound})
+	if !global.Pass {
+		t.Fatalf("global-only check failed (ε=%.4f p=%.3g); the negative test needs a passing average to be meaningful",
+			global.EligibleEpsilon, global.PValue)
+	}
+	// With per-cell accounting, cell 2 must sink the verdict.
+	res := Check(h, CheckConfig{Mode: register.Benign, Bound: bound, Cells: cells})
+	if len(res.Cells) != cells {
+		t.Fatalf("per-cell sections = %d, want %d", len(res.Cells), cells)
+	}
+	if res.PValue < DefaultAlpha {
+		t.Fatalf("global p-value %.3g rejects; the failure should come from the cell section alone", res.PValue)
+	}
+	for _, cr := range res.Cells {
+		want := cr.Cell != 2
+		if cr.Pass != want {
+			t.Errorf("cell %d pass=%v (ε=%.4f over %d reads, p=%.3g), want pass=%v",
+				cr.Cell, cr.Pass, cr.EligibleEpsilon, cr.EligibleReads, cr.PValue, want)
+		}
+	}
+	if got := res.Cells[2].EligibleEpsilon; got < 0.09 || got > 0.11 {
+		t.Errorf("cell 2 measured ε=%.4f, want ~0.10", got)
+	}
+	if res.Pass {
+		t.Fatal("checker passed a run in which cell 2 exceeds its per-cell bound (global average masked it)")
 	}
 }

@@ -60,6 +60,11 @@ type Op struct {
 	Full bool `json:"full,omitempty"`
 	// Quorum is the access set the strategy chose for the operation.
 	Quorum []quorum.ServerID `json:"quorum,omitempty"`
+	// Cell is the quorum cell the operation's key routed to (always 0 in a
+	// single-cell run). Part of the determinism contract: routing is a pure
+	// function of the key and the ring view, so two runs from one seed must
+	// attribute every operation to the same cell.
+	Cell int `json:"cell,omitempty"`
 	// Err is the operation's error text ("" on success).
 	Err string `json:"err,omitempty"`
 }
@@ -68,7 +73,7 @@ type Op struct {
 func (o Op) equal(p Op) bool {
 	if o.Seq != p.Seq || o.Time != p.Time || o.Kind != p.Kind || o.Key != p.Key ||
 		o.Value != p.Value || o.Stamp != p.Stamp || o.Found != p.Found ||
-		o.Full != p.Full || o.Err != p.Err || len(o.Quorum) != len(p.Quorum) {
+		o.Full != p.Full || o.Cell != p.Cell || o.Err != p.Err || len(o.Quorum) != len(p.Quorum) {
 		return false
 	}
 	for i := range o.Quorum {
@@ -89,6 +94,9 @@ func (o Op) String() string {
 		fmt.Fprintf(&b, " found=%v value=%q stamp=%v", o.Found, o.Value, o.Stamp)
 	}
 	fmt.Fprintf(&b, " quorum=%v", o.Quorum)
+	if o.Cell != 0 {
+		fmt.Fprintf(&b, " cell=%d", o.Cell)
+	}
 	if o.Err != "" {
 		fmt.Fprintf(&b, " err=%q", o.Err)
 	}
@@ -132,6 +140,13 @@ type CheckConfig struct {
 	// time in a million under the bound — deterministic-friendly, since a
 	// seed either fails reproducibly or passes reproducibly.
 	Alpha float64
+	// Cells, when > 1, additionally tests EVERY cell's empirical ε against
+	// Bound (each cell is an independent instance of the same construction,
+	// so the theorem bound applies per cell, not just on average): the
+	// result carries a per-cell section for each cell, and a run fails when
+	// ANY cell's p-value drops below Alpha — a cell blowing its budget must
+	// not hide inside a passing global average.
+	Cells int
 }
 
 // DefaultAlpha is CheckConfig.Alpha's default.
@@ -185,9 +200,33 @@ type CheckResult struct {
 	// reads count toward the bound instead.
 	Violations []string `json:"violations,omitempty"`
 
-	// Pass is the overall verdict: no violations, and the measured ε is
-	// statistically consistent with Bound (PValue >= Alpha).
+	// Cells carries the per-cell sections of a multi-cell run
+	// (CheckConfig.Cells > 1): the same eligibility accounting and binomial
+	// test computed over each cell's own reads, against the same per-cell
+	// Bound. Nil for single-cell histories.
+	Cells []CellResult `json:"cells,omitempty"`
+
+	// Pass is the overall verdict: no violations, the measured global ε is
+	// statistically consistent with Bound (PValue >= Alpha), and — in a
+	// multi-cell run — every per-cell section passes too.
 	Pass bool `json:"pass"`
+}
+
+// CellResult is one cell's slice of a multi-cell consistency verdict.
+type CellResult struct {
+	// Cell is the cell index the section covers.
+	Cell int `json:"cell"`
+	// Reads counts the cell's read operations; Eligible* mirror the global
+	// accounting restricted to this cell's keys.
+	Reads           int     `json:"reads"`
+	EligibleReads   int     `json:"eligible_reads"`
+	EligibleBad     int     `json:"eligible_bad"`
+	EligibleEpsilon float64 `json:"eligible_epsilon"`
+	// Bound and PValue report the cell's own binomial test; Pass its
+	// verdict (PValue >= Alpha).
+	Bound  float64 `json:"bound"`
+	PValue float64 `json:"p_value"`
+	Pass   bool    `json:"pass"`
 }
 
 // writeRec is one write attempt as seen by the checker.
@@ -210,6 +249,22 @@ func Check(h History, cfg CheckConfig) CheckResult {
 	res := CheckResult{StaleDepth: make(map[int]int), Bound: cfg.Bound}
 	writes := make(map[string][]writeRec)
 	completed := make(map[string]int) // completed-write count per key
+	var cells []CellResult
+	if cfg.Cells > 1 {
+		cells = make([]CellResult, cfg.Cells)
+		for i := range cells {
+			cells[i] = CellResult{Cell: i, Bound: cfg.Bound}
+		}
+	}
+	// perCell resolves an op's cell section, tolerating out-of-range ids
+	// (a malformed history) by dropping the attribution rather than
+	// panicking mid-check.
+	perCell := func(op Op) *CellResult {
+		if cells == nil || op.Cell < 0 || op.Cell >= len(cells) {
+			return nil
+		}
+		return &cells[op.Cell]
+	}
 
 	for _, op := range h {
 		switch op.Kind {
@@ -221,6 +276,10 @@ func Check(h History, cfg CheckConfig) CheckResult {
 			}
 		case OpRead:
 			res.Reads++
+			cell := perCell(op)
+			if cell != nil {
+				cell.Reads++
+			}
 			eligible := false
 			if ws := writes[op.Key]; len(ws) > 0 {
 				last := ws[len(ws)-1]
@@ -230,6 +289,9 @@ func Check(h History, cfg CheckConfig) CheckResult {
 			}
 			if eligible {
 				res.EligibleReads++
+				if cell != nil {
+					cell.EligibleReads++
+				}
 			}
 			class, depth := classifyRead(op, writes[op.Key], completed[op.Key])
 			switch class {
@@ -237,6 +299,9 @@ func Check(h History, cfg CheckConfig) CheckResult {
 				res.Unavailable++
 				if eligible {
 					res.EligibleReads-- // errored reads carry no consistency verdict
+					if cell != nil {
+						cell.EligibleReads--
+					}
 				}
 				continue
 			case readCorrect:
@@ -254,6 +319,9 @@ func Check(h History, cfg CheckConfig) CheckResult {
 			}
 			if eligible && class != readCorrect {
 				res.EligibleBad++
+				if cell != nil {
+					cell.EligibleBad++
+				}
 			}
 		}
 	}
@@ -268,6 +336,21 @@ func Check(h History, cfg CheckConfig) CheckResult {
 		res.PValue = combin.BinomialTailGE(res.EligibleReads, cfg.Bound, res.EligibleBad)
 	}
 	res.Pass = len(res.Violations) == 0 && res.PValue >= cfg.Alpha
+	for i := range cells {
+		c := &cells[i]
+		if c.EligibleReads > 0 {
+			c.EligibleEpsilon = float64(c.EligibleBad) / float64(c.EligibleReads)
+		}
+		c.PValue = 1
+		if c.EligibleBad > 0 && cfg.Bound < 1 {
+			c.PValue = combin.BinomialTailGE(c.EligibleReads, cfg.Bound, c.EligibleBad)
+		}
+		c.Pass = c.PValue >= cfg.Alpha
+		if !c.Pass {
+			res.Pass = false
+		}
+	}
+	res.Cells = cells
 	return res
 }
 

@@ -83,6 +83,15 @@ type Config struct {
 	AdaptiveHedge bool
 	EagerRead     bool
 
+	// Cells, when > 1, runs the scenario against a multi-cell client: the
+	// cluster holds Cells*System.N() replicas (cell i owning servers
+	// [i*n, (i+1)*n)), every key routes to one cell by consistent hashing,
+	// and the checker enforces the ε bound per cell as well as globally
+	// (see CheckConfig.Cells). Schedule actions keep addressing global
+	// server ids, so scenarios can partition between cells or crash a
+	// whole cell.
+	Cells int
+
 	// GossipEvery, when positive, runs one synchronized diffusion round
 	// (anti-entropy push-pull over the current membership) after every
 	// GossipEvery-th write/read pair — lazy propagation running
@@ -178,11 +187,16 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		keys = cfg.Ops
 	}
 
+	cells := cfg.Cells
+	if cells < 1 {
+		cells = 1
+	}
+
 	var netClk vtime.Clock // avoid a typed-nil *SimClock inside the interface
 	if clk != nil {
 		netClk = clk
 	}
-	cluster := sim.NewClusterClock(cfg.System.N(), cfg.Seed, netClk)
+	cluster := sim.NewClusterCellsClock(cells, cfg.System.N(), cfg.Seed, netClk)
 	var (
 		eng           *Engine
 		tc            *sim.TCPCluster
@@ -229,6 +243,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		HedgeDelay:    cfg.HedgeDelay,
 		AdaptiveHedge: cfg.AdaptiveHedge,
 		EagerRead:     cfg.EagerRead,
+		Cells:         cfg.Cells,
 	}
 	if clk != nil {
 		opts.Time = clk
@@ -305,6 +320,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		}
 		key := fmt.Sprintf("k%d", t%keys)
 		value := fmt.Sprintf("v%d", t)
+		opCell := client.CellFor(key)
 
 		wr, werr := client.Write(ctx, key, []byte(value))
 		wop := Op{
@@ -312,6 +328,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 			Stamp:  wr.Stamp,
 			Full:   werr == nil && len(wr.Acked) == len(wr.Quorum),
 			Quorum: wr.Quorum,
+			Cell:   opCell,
 		}
 		if werr != nil {
 			wop.Err = werr.Error()
@@ -324,6 +341,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 			Seq: seq, Time: t, Kind: OpRead, Key: key,
 			Value: string(rr.Value), Stamp: rr.Stamp, Found: rr.Found,
 			Quorum: rr.Quorum,
+			Cell:   opCell,
 		}
 		if rerr != nil {
 			rop.Err = rerr.Error()
@@ -346,7 +364,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		Schedule:  cfg.Schedule.String(),
 		Transport: transportName,
 		History:   hist,
-		Check:     Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha}),
+		Check:     Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha, Cells: cfg.Cells}),
 	}
 	if rt.gossip != nil {
 		rep.GossipRounds = gossipRounds

@@ -29,8 +29,13 @@ type Scenario struct {
 	Build func(scale int, seed int64) (Config, error)
 }
 
-// baseN is the universe size every shipped scenario uses.
+// baseN is the universe size every shipped single-cell scenario uses.
 const baseN = 100
+
+// cellN is the per-cell universe size of the cells/ scenarios: 4 cells of
+// 25 servers keep the total at baseN, so multi-cell runs cost the same as
+// the rest of the matrix.
+const cellN = 25
 
 // ids returns [from, from+count) as server ids.
 func ids(from, count int) []quorum.ServerID {
@@ -234,6 +239,71 @@ func Scenarios() []Scenario {
 					WireCodec: transport.CodecGob,
 					Schedule: Schedule{
 						At(0, Drop(0.01), Reorder(200*time.Microsecond)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "cells/inter-cell-partition",
+			Doc:  "4 quorum cells of 25 servers each; an inbound partition isolates cell 2 mid-run and heals, with 2% loss throughout — the per-cell ε sections must each stay within the Theorem 3.16 bound, not just the cross-cell average",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(cellN, 2)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "cells/inter-cell-partition", System: sys, Mode: register.Benign,
+					Cells: 4, Keys: 16,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Drop(0.02)),
+						// Cell 2 owns global servers [50, 75).
+						At(ops/4, BlockInbound(ids(2*cellN, cellN)...)),
+						At(ops/2, Heal(), Drop(0.02)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "cells/cell-crash",
+			Doc:  "4 quorum cells of 25 servers each; cell 1 crashes WHOLE mid-run and recovers — its keys go unavailable (excluded by the eligibility filter) while the surviving cells' per-cell ε sections must keep passing",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(cellN, 2)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "cells/cell-crash", System: sys, Mode: register.Benign,
+					Cells: 4, Keys: 16,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						// Cell 1 owns global servers [25, 50).
+						At(ops/3, Crash(ids(cellN, cellN)...)),
+						At(2*ops/3, Recover(ids(cellN, cellN)...)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "cells/dissem-forgers",
+			Doc:  "4 dissemination cells with b=5 colluding forgers planted in EVERY cell; signatures must reject all forgeries per cell (Theorem 4.4 bound per cell)",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewDisseminationEll(cellN, 5, 2.8)
+				if err != nil {
+					return Config{}, err
+				}
+				forgers := make([]quorum.ServerID, 0, 4*5)
+				for cell := 0; cell < 4; cell++ {
+					forgers = append(forgers, ids(cell*cellN, 5)...)
+				}
+				return Config{
+					Name: "cells/dissem-forgers", System: sys, Mode: register.Dissemination,
+					Cells: 4, Keys: 16,
+					Ops: 120 * scale, Seed: seed, Bound: sys.EpsilonBound(),
+					Schedule: Schedule{
+						At(0, Collude("forged:cells", forgers...)),
 					},
 				}, nil
 			},

@@ -16,14 +16,21 @@ import (
 // the strategy's sample conditioned on liveness, so Theorems 3.2/4.2/5.2
 // still bound ε. Branching on a server identity anywhere in these
 // functions silently voids the theorem.
-var epsblindTargets = regexp.MustCompile(`(?i)hedge|promote|spare|gather|dispatch|delay`)
+var epsblindTargets = regexp.MustCompile(`(?i)hedge|promote|spare|gather|dispatch|delay|route`)
 
-// epsblindAllowed are the observability accessors that legitimately touch
-// per-server state: they record and expose per-server latency EWMAs but
-// feed nothing back into hedging decisions.
+// epsblindAllowed are the functions that legitimately touch per-server or
+// per-cell state. observe/ServerLatencies record and expose per-server
+// latency EWMAs but feed nothing back into hedging decisions. routeCell is
+// the multi-cell router's key→cell consistent-hash lookup — the ONE
+// sanctioned identity-dependent step: it picks which cell's engine serves a
+// key BEFORE any quorum is sampled, so within the chosen cell the access
+// strategy remains the uniform sample the theorems analyze. Any other
+// route/dispatch-path function consulting identities still trips the
+// analyzer.
 var epsblindAllowed = map[string]bool{
 	"observe":         true,
 	"ServerLatencies": true,
+	"routeCell":       true,
 }
 
 // Epsblind mechanizes the identity-blindness invariant in

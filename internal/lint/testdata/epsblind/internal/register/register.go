@@ -39,3 +39,16 @@ func observe(lat map[quorum.ServerID]float64, id quorum.ServerID) float64 {
 
 // statsByID consults identity but is not a hedge/spare path.
 func statsByID(id quorum.ServerID) bool { return id == 0 }
+
+// routeByServer decides routing from a server identity — route-path
+// functions are in scope since the multi-cell router landed, and only the
+// allowlisted key→cell hash may be identity-dependent.
+func routeByServer(id quorum.ServerID) bool {
+	return id < 8 // want "comparison on server identity in hedge/spare path routeByServer"
+}
+
+// routeCell is the sanctioned key→cell consistent-hash lookup: the one
+// allowlisted identity-dependent step in the router.
+func routeCell(owners map[quorum.ServerID]float64, id quorum.ServerID) float64 {
+	return owners[id]
+}

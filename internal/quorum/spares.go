@@ -1,6 +1,9 @@
 package quorum
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // SpareSampler is implemented by systems whose access strategy can produce,
 // alongside one quorum, a ranked list of spare servers to promote when a
@@ -112,7 +115,7 @@ func (g *ByzGrid) PickWithSpares(rnd *rand.Rand, spares int) ([]ServerID, []Serv
 func (w *Weighted) PickWithSpares(r *rand.Rand, spares int) ([]ServerID, []ServerID) {
 	perm := r.Perm(len(w.votes))
 	got := 0
-	cut := len(perm)
+	cut := 0
 	var out []ServerID
 	for i, idx := range perm {
 		out = append(out, ServerID(idx))
@@ -121,6 +124,14 @@ func (w *Weighted) PickWithSpares(r *rand.Rand, spares int) ([]ServerID, []Serve
 			cut = i + 1
 			break
 		}
+	}
+	if got < w.t {
+		// NewWeighted guarantees threshold <= total votes, so even the full
+		// permutation reaching fewer than t votes means the invariant was
+		// broken (a zero-value or mutated Weighted). Returning the whole
+		// universe as a "quorum" here would silently void the intersection
+		// guarantee every ε bound rests on — fail loudly instead.
+		panic(fmt.Sprintf("quorum: weighted votes total %d below threshold %d; Weighted must be built with NewWeighted", got, w.t))
 	}
 	sortIDs(out)
 	if spares > len(perm)-cut {

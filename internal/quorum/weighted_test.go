@@ -187,3 +187,38 @@ func TestWeightedHeavyServerDominatesLoad(t *testing.T) {
 		t.Errorf("fault tolerance %d, want 1 (crash the heavy server)", w.FaultTolerance())
 	}
 }
+
+// TestWeightedUnreachableThresholdErrors pins the construction-time guard
+// behind the PickWithSpares contract: a threshold the vote sum can never
+// reach must fail at NewWeighted (not surface later as a silent
+// whole-universe "quorum" from the access strategy).
+func TestWeightedUnreachableThresholdErrors(t *testing.T) {
+	votes := []int{2, 1, 1} // total 4
+	if _, err := NewWeighted(votes, 5); err == nil {
+		t.Fatal("threshold above total votes accepted")
+	}
+	// At the boundary T = total the quorum is the whole universe — legal,
+	// intersecting, and Pick must return exactly all servers.
+	w, err := NewWeighted(votes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := w.Pick(rand.New(rand.NewSource(1)))
+	if len(q) != len(votes) {
+		t.Fatalf("T=total quorum has %d members, want %d", len(q), len(votes))
+	}
+}
+
+// TestWeightedPickPanicsOnBrokenInvariant pins the defensive check in
+// PickWithSpares: a Weighted whose votes cannot reach the threshold (only
+// constructible by bypassing NewWeighted) must fail loudly rather than
+// return the entire universe as a quorum without error.
+func TestWeightedPickPanicsOnBrokenInvariant(t *testing.T) {
+	w := &Weighted{votes: []int{1, 1}, total: 2, t: 5} // invariant broken
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickWithSpares on an under-threshold Weighted did not panic")
+		}
+	}()
+	w.PickWithSpares(rand.New(rand.NewSource(1)), 1)
+}

@@ -61,7 +61,7 @@ const poolIdleRetire = 100 * time.Millisecond
 // runJob executes one transport call and delivers the reply. The reply
 // channel is buffered for every call that can ever be dispatched, so the
 // send never blocks; under a SimClock it is a tracked message.
-func (c *Client) runJob(j dispatchJob) {
+func (c *cell) runJob(j dispatchJob) {
 	var start time.Time
 	if j.timed {
 		start = c.clock.Now()
@@ -81,7 +81,7 @@ func (c *Client) runJob(j dispatchJob) {
 // a SimClock, otherwise an idle pooled goroutine (spawning a fresh one
 // only when none is parked on the jobs channel — after the first
 // operation warms the pool, steady-state reads and writes spawn nothing).
-func (c *Client) dispatch(ctx context.Context, id quorum.ServerID, req any, ch chan<- callReply, timed bool) {
+func (c *cell) dispatch(ctx context.Context, id quorum.ServerID, req any, ch chan<- callReply, timed bool) {
 	if c.health != nil && c.health.ServerDown(id) {
 		// The transport's circuit breaker already proved this member
 		// unreachable: deliver the failure at t=0 so the gather promotes a
@@ -113,7 +113,7 @@ func (c *Client) dispatch(ctx context.Context, id quorum.ServerID, req any, ch c
 // channel is unbuffered, so a handoff only succeeds while a worker is
 // committed to receiving — a worker that chose to retire can never strand
 // a job.
-func (c *Client) poolWorker(j dispatchJob) {
+func (c *cell) poolWorker(j dispatchJob) {
 	idle := c.clock.NewTimer(poolIdleRetire)
 	defer idle.Stop()
 	for {
@@ -128,7 +128,7 @@ func (c *Client) poolWorker(j dispatchJob) {
 }
 
 // goWorker runs fn on a goroutine the clock's scheduler knows about.
-func (c *Client) goWorker(fn func()) {
+func (c *cell) goWorker(fn func()) {
 	if c.sched != nil {
 		c.sched.Go(fn)
 		return
@@ -142,7 +142,7 @@ func noopUnpark() {}
 
 // park marks the caller blocked for the SimClock quiescence detector; the
 // returned function must run as soon as the blocking select returns.
-func (c *Client) park() func() {
+func (c *cell) park() func() {
 	if c.sched == nil {
 		return noopUnpark
 	}
@@ -151,7 +151,7 @@ func (c *Client) park() func() {
 
 // noteRecv records consumption of a tracked message (a reply or a hedge
 // fire) under a SimClock.
-func (c *Client) noteRecv() {
+func (c *cell) noteRecv() {
 	if c.sched != nil {
 		c.sched.NoteRecv()
 	}
@@ -185,7 +185,7 @@ type gatherOutcome struct {
 
 // gather runs the access engine. It returns when the completion rule is
 // decidable, when every dispatched call has resolved, or when ctx is done.
-func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
+func (c *cell) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 	total := len(spec.quorum) + len(spec.spares)
 	ch := make(chan callReply, total)
 	timed := c.opts.AdaptiveHedge
@@ -282,7 +282,7 @@ func (c *Client) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 // because a gather can never finish before quorum-size replies arrive: if
 // the whole cluster slows down, the in-gather samples slow down with it
 // and the delay rises.
-func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
+func (c *cell) drain(out gatherOutcome, onLate func(callReply)) {
 	if out.leftover == 0 {
 		return
 	}
@@ -309,7 +309,7 @@ func (c *Client) drain(out gatherOutcome, onLate func(callReply)) {
 // InplacePicker-capable system run through the client's buffer freelist, so
 // steady-state sampling performs zero allocations; each operation returns
 // its buffer with recyclePick when it completes.
-func (c *Client) pickWithSpares() (q, spares []quorum.ServerID) {
+func (c *cell) pickWithSpares() (q, spares []quorum.ServerID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.opts.Spares > 0 {
@@ -328,7 +328,7 @@ func (c *Client) pickWithSpares() (q, spares []quorum.ServerID) {
 const maxPickFree = 8
 
 // takeBufLocked pops a sampling buffer from the freelist. c.mu must be held.
-func (c *Client) takeBufLocked() []quorum.ServerID {
+func (c *cell) takeBufLocked() []quorum.ServerID {
 	if n := len(c.pickFree); n > 0 {
 		buf := c.pickFree[n-1]
 		c.pickFree = c.pickFree[:n-1]
@@ -341,7 +341,7 @@ func (c *Client) takeBufLocked() []quorum.ServerID {
 // freelist. The buffer never escapes the operation: Read and Write copy it
 // into the result's Quorum field, so recycling cannot rewrite anything a
 // caller holds.
-func (c *Client) recyclePick(q []quorum.ServerID) {
+func (c *cell) recyclePick(q []quorum.ServerID) {
 	if cap(q) == 0 {
 		return
 	}
@@ -392,7 +392,7 @@ type AccessStats struct {
 }
 
 // Stats returns a snapshot of the client's straggler-tolerance counters.
-func (c *Client) Stats() AccessStats {
+func (c *cell) Stats() AccessStats {
 	s := AccessStats{
 		SparesPromoted:      c.statPromoted.Load(),
 		EarlyCompletions:    c.statEarly.Load(),
@@ -410,7 +410,7 @@ func (c *Client) Stats() AccessStats {
 // WaitDrained blocks until every background drain spawned by completed
 // operations has finished. Call it with no operations in flight (e.g. at
 // shutdown, or in tests that assert on Stats or goroutine counts).
-func (c *Client) WaitDrained() { c.drainWG.Wait() }
+func (c *cell) WaitDrained() { c.drainWG.Wait() }
 
 // counters live on Client (register.go); typed here for proximity to the
 // engine that updates them.

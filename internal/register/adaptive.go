@@ -108,7 +108,7 @@ func (e *latencyEstimator) snapshot() (samples uint64, srtt, rttvar time.Duratio
 
 // hedgeDelay returns the delay the next operation hedges at: the static
 // Options.HedgeDelay, or the adaptive estimate once warmed up.
-func (c *Client) hedgeDelay() time.Duration {
+func (c *cell) hedgeDelay() time.Duration {
 	if !c.opts.AdaptiveHedge {
 		return c.opts.HedgeDelay
 	}
@@ -118,7 +118,7 @@ func (c *Client) hedgeDelay() time.Duration {
 // ServerLatencies returns a snapshot of the per-server reply-latency EWMAs
 // the adaptive estimator has observed — observability only; the hedge
 // delay never reads them (see the ε-preservation note above).
-func (c *Client) ServerLatencies() map[quorum.ServerID]time.Duration {
+func (c *cell) ServerLatencies() map[quorum.ServerID]time.Duration {
 	c.lat.mu.Lock()
 	defer c.lat.mu.Unlock()
 	out := make(map[quorum.ServerID]time.Duration, len(c.lat.perServer))

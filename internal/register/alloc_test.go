@@ -29,15 +29,16 @@ func TestSteadyStateSamplingZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	eng := c.cells[0]
 	// Warm the freelist with one pick, as the first operation would.
-	q, spares := c.pickWithSpares()
+	q, spares := eng.pickWithSpares()
 	if len(q) != 23 || spares != nil {
 		t.Fatalf("pick: %d members, %d spares", len(q), len(spares))
 	}
-	c.recyclePick(q)
+	eng.recyclePick(q)
 	allocs := testing.AllocsPerRun(500, func() {
-		q, _ := c.pickWithSpares()
-		c.recyclePick(q)
+		q, _ := eng.pickWithSpares()
+		eng.recyclePick(q)
 	})
 	if allocs != 0 {
 		t.Errorf("steady-state quorum sampling: %v allocs/op, want 0", allocs)

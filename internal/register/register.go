@@ -183,12 +183,30 @@ type Options struct {
 	// keep delivering the write to the remaining members as long as the
 	// operation's context stays live (cancelling it aborts them).
 	W int
+
+	// Cells partitions the keyspace across this many independent quorum
+	// cells. Cell i is a full copy of the configured system over servers
+	// [i*n, (i+1)*n) of the Transport, where n = System.N(); a consistent-
+	// hash ring (internal/ring) routes each key to one cell, and all
+	// protocol state — strategy, ε budget, hedging, stats — is per cell.
+	// 0 or 1 means the classic single-cell client over servers [0, n).
+	Cells int
+	// RingVnodes is the virtual-node count per cell on the routing ring
+	// (0 = ring.DefaultVnodes). Only meaningful with Cells > 1.
+	RingVnodes int
 }
 
-// Client reads and writes a replicated variable through quorums.
+// cell is the per-cell gather engine: it runs the paper's access protocols
+// against ONE quorum cell — a universe of Options.System.N() servers
+// addressed in cell-local ids [0, n). Client (router.go) routes every key
+// to one cell; a single-cell client is a Client wrapping exactly one of
+// these. All dispatch, hedging, spare promotion and drain state lives
+// here, per cell and identity-blind, so the ε-preservation argument (and
+// the epsblind analyzer) applies to each cell independently.
+//
 // It is safe for concurrent use, though the single-writer protocol
 // requires that at most one client writes any given key.
-type Client struct {
+type cell struct {
 	opts Options
 
 	// clock is Options.Time or the wall clock; sched is non-nil when it is
@@ -219,8 +237,10 @@ type Client struct {
 	drainWG *vtime.WaitGroup
 }
 
-// NewClient validates the option combination and returns a client.
-func NewClient(opts Options) (*Client, error) {
+// newCell validates the option combination and returns a per-cell engine.
+// NewClient (router.go) is the public constructor; it calls this once per
+// cell with an Offset transport and a cell-private rng.
+func newCell(opts Options) (*cell, error) {
 	if opts.System == nil {
 		return nil, errors.New("register: Options.System is required")
 	}
@@ -275,7 +295,7 @@ func NewClient(opts Options) (*Client, error) {
 	if k == 0 {
 		k = defaultHedgeDeviations
 	}
-	c := &Client{
+	c := &cell{
 		opts:    opts,
 		clock:   clk,
 		sched:   sched,
@@ -291,10 +311,10 @@ func NewClient(opts Options) (*Client, error) {
 }
 
 // Mode returns the client's protocol mode.
-func (c *Client) Mode() Mode { return c.opts.Mode }
+func (c *cell) Mode() Mode { return c.opts.Mode }
 
 // System returns the client's quorum system.
-func (c *Client) System() quorum.System { return c.opts.System }
+func (c *cell) System() quorum.System { return c.opts.System }
 
 // WriteResult reports the outcome of a write.
 type WriteResult struct {
@@ -321,7 +341,7 @@ type WriteResult struct {
 // member. The value slice is not retained. With Options.W set, the write
 // completes at W acknowledgements; with Options.Spares, failed or lagging
 // members are hedged with spare servers.
-func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+func (c *cell) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
 	if c.opts.Clock == nil {
 		return WriteResult{}, errors.New("register: client has no clock; cannot write")
 	}
@@ -434,7 +454,7 @@ func maskDecided(votes map[voteKey]int, k, outstanding int) bool {
 // highest-timestamped survivor. With Options.EagerRead it returns as soon
 // as the acceptance rule is decidable; with Options.Spares, failed or
 // lagging members are hedged with spare servers.
-func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
+func (c *cell) Read(ctx context.Context, key string) (ReadResult, error) {
 	q, spares := c.pickWithSpares()
 	defer c.recyclePick(q)
 	req := wire.ReadRequest{Key: key}
@@ -523,7 +543,7 @@ func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
 
 // selectBenign implements step 3 of the Section 3.1 read protocol: the pair
 // with the highest timestamp.
-func (c *Client) selectBenign(res *ReadResult, replies []wire.ReadReply) {
+func (c *cell) selectBenign(res *ReadResult, replies []wire.ReadReply) {
 	for _, r := range replies {
 		if !res.Found || res.Stamp.Less(r.Stamp) {
 			res.Found = true
@@ -542,7 +562,7 @@ func (c *Client) selectBenign(res *ReadResult, replies []wire.ReadReply) {
 // compute the verifiable subset V', then take the highest timestamp.
 // verified[i] carries the signature check already performed on replies[i]
 // when it was collected.
-func (c *Client) selectDissemination(res *ReadResult, replies []wire.ReadReply, verified []bool) {
+func (c *cell) selectDissemination(res *ReadResult, replies []wire.ReadReply, verified []bool) {
 	for i, r := range replies {
 		if !verified[i] {
 			res.Discarded++
@@ -565,7 +585,7 @@ func (c *Client) selectDissemination(res *ReadResult, replies []wire.ReadReply, 
 // V' = pairs vouched for by at least K members; highest timestamp in V', or
 // ⊥ (Found=false) when V' is empty. votes is the tally Read accumulated
 // while collecting replies.
-func (c *Client) selectMasking(res *ReadResult, votes map[voteKey]int) {
+func (c *cell) selectMasking(res *ReadResult, votes map[voteKey]int) {
 	for cand, n := range votes {
 		if n < c.opts.K {
 			res.Discarded += n

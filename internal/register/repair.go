@@ -21,7 +21,7 @@ import (
 // there a read that was fooled by k colluders would write the fabricated
 // value into correct servers, converting a transient inconsistency into a
 // persistent one. NewClient enforces this.
-func (c *Client) repair(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply, errs map[quorum.ServerID]error, inFlight bool) {
+func (c *cell) repair(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply, errs map[quorum.ServerID]error, inFlight bool) {
 	if !res.Found {
 		return
 	}
@@ -93,7 +93,7 @@ func repairTargets(res *ReadResult, byID map[quorum.ServerID]wire.ReadReply, err
 // detached, so a reply that does arrive is healed even if the caller
 // cancels between the reply and the repair. The drain goroutine remains
 // bounded by the late calls already in flight.
-func (c *Client) lateReadHandler(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply) func(callReply) {
+func (c *cell) lateReadHandler(ctx context.Context, key string, res *ReadResult, byID map[quorum.ServerID]wire.ReadReply) func(callReply) {
 	if !c.opts.ReadRepair || !res.Found {
 		return nil
 	}

@@ -118,17 +118,13 @@ func (c *RetryingClient) Read(ctx context.Context, key string) (ReadResult, erro
 	return res, err
 }
 
-// Update implements the read-modify-write pattern that extends the
-// single-writer protocol toward multiple writers, following the paper's
-// Section 3.1 pointer to [Lam86, IS92]: read the variable (witnessing the
-// highest timestamp seen, so the local clock dominates it), apply f to the
-// value read, and write the result. With one writer per key this is exactly
-// read-then-write; with several concurrent writers the per-writer tiebreak
-// on timestamps keeps the register's history totally ordered (last writer
-// wins), giving regular-variable-style behavior rather than atomicity —
-// sufficient for the lock and counter patterns the paper's applications
-// use.
-func (c *Client) Update(ctx context.Context, key string, f func(old []byte, found bool) []byte) (WriteResult, error) {
+// Update runs the read-modify-write cycle through the RETRYING Read and
+// Write paths, so a transient first-attempt failure (dead quorum sample,
+// partial write) still completes the RMW. Before this method existed, calls
+// to Update through the embedded *Client used the non-retrying protocol
+// directly — silently bypassing Attempts/Backoff; see Client.Update for the
+// RMW semantics.
+func (c *RetryingClient) Update(ctx context.Context, key string, f func(old []byte, found bool) []byte) (WriteResult, error) {
 	r, err := c.Read(ctx, key)
 	if err != nil {
 		return WriteResult{}, fmt.Errorf("register: update read: %w", err)

@@ -297,3 +297,83 @@ func TestRetryingBackoffDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// flakyTransport fails its first failN calls with a transient error, then
+// delegates — a server set that is briefly unreachable and then recovers.
+type flakyTransport struct {
+	inner transport.Transport
+	mu    sync.Mutex
+	failN int
+	calls int
+}
+
+func (f *flakyTransport) Call(ctx context.Context, to quorum.ServerID, req any) (any, error) {
+	f.mu.Lock()
+	f.calls++
+	fail := f.failN > 0
+	if fail {
+		f.failN--
+	}
+	f.mu.Unlock()
+	if fail {
+		return nil, errors.New("flaky: transient outage")
+	}
+	return f.inner.Call(ctx, to, req)
+}
+
+// TestRetryingUpdateRetriesTransientFailure pins the retry-bypass bug:
+// Update used to be defined only on *Client, so calls through the embedded
+// pointer ran the NON-retrying Read/Write and a transient first-attempt
+// failure failed the whole RMW. RetryingClient.Update must ride the
+// retrying paths instead.
+func TestRetryingUpdateRetriesTransientFailure(t *testing.T) {
+	const n = 3 // majority quorum size 2
+	net := transport.NewMemNetwork(11)
+	for i := 0; i < n; i++ {
+		net.Register(quorum.ServerID(i), replica.New(quorum.ServerID(i)))
+	}
+	sys := majoritySystem(t, n)
+	flaky := &flakyTransport{inner: net}
+	base, err := NewClient(Options{
+		System: sys, Mode: Benign, Transport: flaky,
+		Rand:  rand.New(rand.NewSource(3)),
+		Clock: ts.NewClock(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := NewRetryingClient(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := rc.Write(ctx, "counter", []byte("41")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next full read quorum: the RMW's first read attempt dies,
+	// the retry succeeds, and the increment must still land.
+	flaky.mu.Lock()
+	flaky.failN = 2
+	flaky.mu.Unlock()
+	wr, err := rc.Update(ctx, "counter", func(old []byte, found bool) []byte {
+		if !found {
+			t.Errorf("update read lost the committed value")
+		}
+		v := 0
+		fmt.Sscanf(string(old), "%d", &v)
+		return []byte(fmt.Sprint(v + 1))
+	})
+	if err != nil {
+		t.Fatalf("Update with transient first-attempt failure: %v", err)
+	}
+	if wr.Stamp.IsZero() {
+		t.Fatal("update write did not commit")
+	}
+	rr, err := rc.Read(ctx, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Value) != "42" {
+		t.Errorf("counter = %s, want 42 (RMW did not complete through retries)", rr.Value)
+	}
+}

@@ -55,6 +55,17 @@ func NewClusterClock(n int, seed int64, clk vtime.Clock) *Cluster {
 	return c
 }
 
+// NewClusterCellsClock builds a multi-cell cluster: cells×n replicas laid
+// out for a cell-partitioned client (register.Options.Cells = cells over a
+// system with N = n), cell i owning global ids [i·n, (i+1)·n). All cells
+// share one simulated network and clock, so cross-cell faults are injected
+// with the usual per-server methods over global ids. The chaos harness and
+// the TCP plane (NewTCPCluster wraps the whole Cluster, so every cell's
+// replicas get virtual byte streams) build on this layout.
+func NewClusterCellsClock(cells, n int, seed int64, clk vtime.Clock) *Cluster {
+	return NewClusterClock(cells*n, seed, clk)
+}
+
 // N returns the cluster size.
 func (c *Cluster) N() int { return len(c.Replicas) }
 

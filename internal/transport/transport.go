@@ -123,6 +123,13 @@ type MemNetwork struct {
 	// LinkHook).
 	hook LinkHook
 
+	// sems, when non-empty, caps concurrent in-service calls per server
+	// (see SetServerConcurrency): a call holds one slot of its
+	// destination's semaphore across the simulated latency and the handler,
+	// so latency becomes service time and each server gets a finite
+	// throughput ceiling.
+	sems map[quorum.ServerID]chan struct{}
+
 	// clock supplies simulated-latency sleeps and fault delays. The wall
 	// clock by default; the sim and chaos harnesses install a
 	// vtime.SimClock so latency becomes virtual (instant to execute,
@@ -280,6 +287,27 @@ func (n *MemNetwork) SetServerLatency(id quorum.ServerID, min, max time.Duration
 	n.perServer[id] = latRange{min: min, max: max}
 }
 
+// SetServerConcurrency caps every currently registered server at k calls
+// in service at once (0 removes the cap). While the cap is in place a call
+// occupies one of its destination's k slots across the simulated latency
+// AND the handler, so the latency range set with SetLatency acts as per-call
+// service time and each server's throughput ceiling is k/latency calls per
+// second. This is the capacity model behind the multi-cell scaling
+// benchmarks: without it an in-memory server is infinitely parallel and
+// adding cells adds no measurable capacity.
+func (n *MemNetwork) SetServerConcurrency(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if k <= 0 {
+		n.sems = nil
+		return
+	}
+	n.sems = make(map[quorum.ServerID]chan struct{}, len(n.handlers))
+	for id := range n.handlers {
+		n.sems[id] = make(chan struct{}, k)
+	}
+}
+
 // SetPartition assigns servers to partition groups. Calls between different
 // groups fail with ErrPartitioned. Servers not mentioned stay in group 0.
 func (n *MemNetwork) SetPartition(groups map[quorum.ServerID]int) {
@@ -319,6 +347,7 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 	drop := n.dropProb
 	callCnt := n.callSeq[to]
 	hook := n.hook
+	sem := n.sems[to]
 	clock := n.clock
 	minLat, maxLat := n.minLat, n.maxLat
 	if lr, ok := n.perServer[to]; ok {
@@ -344,6 +373,16 @@ func (n *MemNetwork) Call(ctx context.Context, to quorum.ServerID, req any) (any
 		}
 		if fault.ReplaceReq != nil {
 			req = fault.ReplaceReq
+		}
+	}
+	if sem != nil {
+		// Service-time accounting (SetServerConcurrency): hold one of the
+		// destination's slots across the latency sleep and the handler.
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 	if drop > 0 || maxLat > minLat {

@@ -37,6 +37,17 @@ func NewLockService(client *Client, prefix string) (*LockService, error) {
 
 func (l *LockService) key(name string) string { return l.prefix + name }
 
+// lockFreeValue is the canonical free-lock sentinel: an absent entry and an
+// empty value mean the same thing ("no holder"), because a released lock is
+// represented by overwriting the holder with an empty value — a register
+// has no delete. Every interpretation of lock state goes through
+// lockIsFree, so TryAcquire, Holder and Release can never drift apart on
+// what "free" means.
+var lockFreeValue []byte
+
+// lockIsFree reports whether a register read represents a free lock.
+func lockIsFree(value []byte, found bool) bool { return !found || len(value) == 0 }
+
 // TryAcquire attempts to lock name for owner. It returns true if the lock
 // was (probably) acquired: no prior holder was visible to the read quorum.
 // Reacquiring a lock already held by the same owner succeeds.
@@ -48,11 +59,8 @@ func (l *LockService) TryAcquire(ctx context.Context, name, owner string) (bool,
 	if err != nil {
 		return false, fmt.Errorf("pqs: lock read: %w", err)
 	}
-	if r.Found && len(r.Value) > 0 && string(r.Value) != owner {
-		return false, nil
-	}
-	if r.Found && string(r.Value) == owner {
-		return true, nil
+	if !lockIsFree(r.Value, r.Found) {
+		return string(r.Value) == owner, nil
 	}
 	if _, err := l.client.Write(ctx, l.key(name), []byte(owner)); err != nil {
 		return false, fmt.Errorf("pqs: lock write: %w", err)
@@ -66,27 +74,37 @@ func (l *LockService) Holder(ctx context.Context, name string) (string, bool, er
 	if err != nil {
 		return "", false, fmt.Errorf("pqs: lock read: %w", err)
 	}
-	if !r.Found || len(r.Value) == 0 {
+	if lockIsFree(r.Value, r.Found) {
 		return "", false, nil
 	}
 	return string(r.Value), true, nil
 }
 
-// Release clears the lock if owner holds it. It returns false when the
-// visible holder is someone else (the lock is left untouched).
+// Release clears the lock if owner holds it (releasing an already-free
+// lock is a no-op success). It returns false when the visible holder is
+// someone else, whose record is written back unchanged.
+//
+// The whole decision runs inside the client's read-modify-write Update: one
+// cycle whose read witnesses the highest stamp before the write, pinned to
+// one quorum cell. The previous implementation was a Holder read followed
+// by an independent Write of the empty sentinel — two separately sampled
+// quorums with a window between them in which the decision could go stale.
 func (l *LockService) Release(ctx context.Context, name, owner string) (bool, error) {
-	holder, held, err := l.Holder(ctx, name)
+	released := false
+	_, err := l.client.Update(ctx, l.key(name), func(old []byte, found bool) []byte {
+		if lockIsFree(old, found) {
+			released = true // already free; rewrite the sentinel as a no-op
+			return lockFreeValue
+		}
+		if string(old) != owner {
+			released = false
+			return old // someone else holds it; leave the record as is
+		}
+		released = true
+		return lockFreeValue
+	})
 	if err != nil {
-		return false, err
-	}
-	if !held {
-		return true, nil // already free
-	}
-	if holder != owner {
-		return false, nil
-	}
-	if _, err := l.client.Write(ctx, l.key(name), nil); err != nil {
 		return false, fmt.Errorf("pqs: lock release: %w", err)
 	}
-	return true, nil
+	return released, nil
 }

@@ -66,6 +66,7 @@ import (
 	"pqs/internal/core"
 	"pqs/internal/quorum"
 	"pqs/internal/register"
+	"pqs/internal/ring"
 	"pqs/internal/sv"
 	"pqs/internal/transport"
 	"pqs/internal/ts"
@@ -321,6 +322,16 @@ type ClientConfig struct {
 	// members while the operation's context stays live. Zero (or
 	// RequireFullWrite) waits for the full access set.
 	W int
+	// Cells partitions the keyspace across this many independent quorum
+	// cells by consistent hashing: cell i is a full System-sized PQS over
+	// servers [i*N, (i+1)*N) of the Transport (see NewLocalClusterCells),
+	// with its own strategy, ε budget and stats; aggregate throughput
+	// scales with the cell count while each cell keeps the paper's
+	// per-cell guarantees. 0 or 1 is the classic single-cell client.
+	Cells int
+	// CellVnodes is the virtual-node count per cell on the routing ring
+	// (0 = the ring package default). Only meaningful with Cells > 1.
+	CellVnodes int
 }
 
 // Transport delivers one request to one server. Implemented by LocalCluster
@@ -341,6 +352,16 @@ type WriteResult = register.WriteResult
 // (spares promoted, early completions, late replies and late repairs); see
 // Client.Stats and Client.WaitDrained.
 type AccessStats = register.AccessStats
+
+// RingView is a versioned description of a multi-cell client's routing
+// ring (ClientConfig.Cells > 1): which cells currently serve the keyspace,
+// and the view version ordering advertisements. See Client.View,
+// Client.ApplyView, Client.AdvertiseView and Client.RefreshView for how a
+// deployment rebalances on cell Join/Leave: an administrator advertises a
+// new view under a reserved register key, diffusion spreads it between
+// replicas, and clients that refresh adopt it and route new keys to the
+// new member set.
+type RingView = ring.View
 
 // Errors re-exported for errors.Is matching.
 var (
@@ -391,6 +412,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		HedgeDeviations:  cfg.HedgeDeviations,
 		EagerRead:        cfg.EagerRead,
 		W:                cfg.W,
+		Cells:            cfg.Cells,
+		RingVnodes:       cfg.CellVnodes,
 	}
 	if cfg.Key.Private != nil {
 		opts.Signer = cfg.Key.Private

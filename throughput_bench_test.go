@@ -160,6 +160,75 @@ func BenchmarkThroughputMemWrite(b *testing.B) {
 	reportOpsPerSec(b)
 }
 
+// BenchmarkThroughputCells measures aggregate read throughput as the
+// keyspace is partitioned across quorum cells (ClientConfig.Cells), holding
+// the per-cell construction fixed. The cluster runs under the capacity
+// model (SetServerConcurrency + fixed latency): every call spends svcTime
+// occupying one of its server's svrSlots service slots, so one cell's
+// ceiling is n·slots/(q·svcTime) ops/sec and a c-cell deployment — c×
+// servers — must deliver close to c× the aggregate. The 1-vs-4-cell ratio
+// recorded in BENCH_throughput.json is the scaling acceptance number; the
+// bench-regress gate keeps both points from regressing.
+func BenchmarkThroughputCells(b *testing.B) {
+	const (
+		cellN    = 16                     // replicas per cell
+		cellQ    = 4                      // quorum size per cell (ℓ=1: q=√n)
+		svcTime  = 500 * time.Microsecond // per-call service time
+		svrSlots = 2                      // concurrent calls per server
+		numKeys  = 512                    // one key per worker goroutine
+	)
+	for _, cells := range []int{1, 4} {
+		b.Run(fmt.Sprintf("cells=%d", cells), func(b *testing.B) {
+			sys, err := pqs.New(pqs.Config{N: cellN, Q: cellQ})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cluster, err := pqs.NewLocalClusterCells(cells, cellN, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			client, err := pqs.NewClient(pqs.ClientConfig{
+				System: sys, Transport: cluster.Transport(), WriterID: 1, Seed: 2,
+				Cells: cells,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			// Seed the keyspace before the capacity model switches on, so
+			// setup runs at memory speed and the timed region is pure reads
+			// against capacity-limited servers.
+			keys := make([]string, numKeys)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("cell-bench-%d", i)
+				if _, err := client.Write(ctx, keys[i], benchPayload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			cluster.SetLatency(svcTime, svcTime)
+			cluster.SetServerConcurrency(svrSlots)
+			// Enough in-flight readers to saturate every cell's slot pool
+			// (cells·n·slots slots total) regardless of ring imbalance.
+			procs := runtime.GOMAXPROCS(0)
+			b.SetParallelism((numKeys + procs - 1) / procs)
+			var goroutineID atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := keys[int(goroutineID.Add(1))%numKeys]
+				for pb.Next() {
+					if _, err := client.Read(ctx, key); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			reportOpsPerSec(b)
+		})
+	}
+}
+
 // newThroughputTCPClient builds a 5-replica universe over real sockets with
 // the given codec and a q=3 client on one multiplexed connection per
 // server — the fixture for the binary-vs-gob data-plane comparison.
