@@ -49,6 +49,7 @@ func run() error {
 	writer := flag.Uint("writer", 1, "writer id for puts")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 	stats := flag.Bool("stats", false, "print the client's AccessStats as JSON after the operation")
+	codecStr := flag.String("codec", "binary", "wire codec: binary, gob, or binary-flate (compressed WAN profile); must match the servers'")
 	flag.Parse()
 
 	addrs, err := parseServers(*servers)
@@ -82,7 +83,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tc, err := pqs.Dial(addrs)
+	codec, err := pqs.ParseCodec(*codecStr)
+	if err != nil {
+		return err
+	}
+	tc, err := pqs.DialConfig(addrs, pqs.DialOptions{Codec: codec})
 	if err != nil {
 		return err
 	}

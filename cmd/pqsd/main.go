@@ -52,6 +52,7 @@ func run() error {
 	fanout := flag.Int("fanout", 1, "gossip peers contacted per round")
 	interval := flag.Duration("gossip-interval", time.Second, "gossip round period")
 	seed := flag.Int64("diffusion-seed", 0, "seed for gossip peer selection (0 draws from crypto/rand)")
+	codecStr := flag.String("codec", "binary", "wire codec: binary, gob, or binary-flate (compressed WAN profile); must match clients and peers")
 	flag.Parse()
 
 	// Multi-cell layouts address replicas by global id: cell i of size n
@@ -67,10 +68,15 @@ func run() error {
 		return fmt.Errorf("-cell requires -cell-size")
 	}
 
+	codec, err := pqs.ParseCodec(*codecStr)
+	if err != nil {
+		return err
+	}
 	srv, err := pqs.ListenAndServeConfig(pqs.ServerConfig{
 		ID:            globalID,
 		Addr:          *listen,
 		DiffusionSeed: *seed,
+		Codec:         codec,
 	})
 	if err != nil {
 		return err

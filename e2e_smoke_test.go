@@ -36,10 +36,12 @@ func buildBinary(t *testing.T, dir, name, pkg string) string {
 }
 
 // startServer launches one pqsd and returns its process plus the loopback
-// address it reports on stdout.
-func startServer(t *testing.T, bin string, id int) (*exec.Cmd, string) {
+// address it reports on stdout. extra is appended to the argument list
+// (e.g. a -codec selection).
+func startServer(t *testing.T, bin string, id int, extra ...string) (*exec.Cmd, string) {
 	t.Helper()
-	cmd := exec.Command(bin, "-id", fmt.Sprint(id), "-listen", "127.0.0.1:0")
+	args := append([]string{"-id", fmt.Sprint(id), "-listen", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -71,19 +73,30 @@ func startServer(t *testing.T, bin string, id int) (*exec.Cmd, string) {
 }
 
 // TestE2ESmoke is the binary-level end-to-end check; see the file comment.
+// It runs once per wire codec: the default binary codec and the
+// binary-flate WAN profile (both binaries started with -codec binary-flate,
+// so every frame above the compression threshold crosses the wire deflated).
 func TestE2ESmoke(t *testing.T) {
 	if os.Getenv("PQS_E2E") != "1" {
 		t.Skip("set PQS_E2E=1 (or run `make e2e-smoke`) to run the end-to-end smoke test")
 	}
-	const n = 5
 	dir := t.TempDir()
 	pqsd := buildBinary(t, dir, "pqsd", "./cmd/pqsd")
 	cli := buildBinary(t, dir, "pqs-cli", "./cmd/pqs-cli")
 
+	for _, codec := range []string{"binary", "binary-flate"} {
+		t.Run(codec, func(t *testing.T) { smokeCluster(t, pqsd, cli, codec) })
+	}
+}
+
+// smokeCluster stands up a 5-replica cluster on the given codec and drives
+// the put/get/kill-one sequence through the CLI.
+func smokeCluster(t *testing.T, pqsd, cli, codec string) {
+	const n = 5
 	procs := make([]*exec.Cmd, n)
 	specs := make([]string, n)
 	for i := 0; i < n; i++ {
-		cmd, addr := startServer(t, pqsd, i)
+		cmd, addr := startServer(t, pqsd, i, "-codec", codec)
 		procs[i] = cmd
 		specs[i] = fmt.Sprintf("%d=%s", i, addr)
 		t.Cleanup(func() {
@@ -94,7 +107,7 @@ func TestE2ESmoke(t *testing.T) {
 	servers := strings.Join(specs, ",")
 
 	run := func(args ...string) (string, error) {
-		full := append([]string{"-servers", servers, "-q", "4"}, args...)
+		full := append([]string{"-servers", servers, "-q", "4", "-codec", codec}, args...)
 		out, err := exec.Command(cli, full...).CombinedOutput()
 		return string(out), err
 	}
@@ -113,6 +126,23 @@ func TestE2ESmoke(t *testing.T) {
 	}
 	if !strings.Contains(out, "e2e-value") {
 		t.Fatalf("get output: %q", out)
+	}
+
+	// A value well above the flate codec's compression threshold, so the
+	// binary-flate leg actually sends deflated frames (the small put above
+	// stays raw on every codec — sub-threshold frames are byte-identical
+	// to the legacy encoding by design).
+	big := strings.Repeat("wan-profile-payload!", 64) // 1280 bytes, compressible
+	out, err = run("put", "e2e-big", big)
+	if err != nil {
+		t.Fatalf("put big: %v\n%s", err, out)
+	}
+	out, err = run("get", "e2e-big")
+	if err != nil {
+		t.Fatalf("get big: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, big) {
+		t.Fatalf("get big output: %q", out)
 	}
 
 	// Kill one replica; with q=4 over n=5 every quorum still overlaps the

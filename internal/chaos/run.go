@@ -123,6 +123,14 @@ type Report struct {
 	// adopted from peers across all engines.
 	GossipRounds uint64 `json:"gossip_rounds,omitempty"`
 	GossipMerged uint64 `json:"gossip_merged,omitempty"`
+	// The delta-gossip byte accounting, summed over all engines:
+	// BytesPushed is the binary payload volume the watermark deltas
+	// actually carried, BytesSuppressed what the old full-snapshot pushes
+	// would have added on top, and FullSyncs the pushes that fell back to
+	// full state (first contact, post-churn rejoin, watermark regression).
+	GossipBytesPushed     uint64 `json:"gossip_bytes_pushed,omitempty"`
+	GossipBytesSuppressed uint64 `json:"gossip_bytes_suppressed,omitempty"`
+	GossipFullSyncs       uint64 `json:"gossip_full_syncs,omitempty"`
 	// Lifecycle snapshots the main client's connection-lifecycle counters
 	// when Config.Lifecycle enables any feature under tcp-virtual. Counter
 	// totals are aggregates, not part of the byte-for-byte determinism
@@ -286,7 +294,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 			// server-to-server links.
 			gossipTr = tc.GossipTransport()
 		}
-		group, err := diffusion.NewGroup(cluster.Replicas, gossipTr, fanout, nil, cfg.Seed+2)
+		group, err := diffusion.NewGroupClock(cluster.Replicas, gossipTr, fanout, nil, cfg.Seed+2, netClk)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: diffusion group: %w", err)
 		}
@@ -369,7 +377,11 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	if rt.gossip != nil {
 		rep.GossipRounds = gossipRounds
 		for _, e := range rt.gossip.Engines() {
-			rep.GossipMerged += e.Stats().Merged
+			st := e.Stats()
+			rep.GossipMerged += st.Merged
+			rep.GossipBytesPushed += st.BytesPushed
+			rep.GossipBytesSuppressed += st.BytesSuppressed
+			rep.GossipFullSyncs += st.FullSyncs
 		}
 	}
 	if tc != nil && cfg.Lifecycle.Enabled() {

@@ -124,7 +124,7 @@ func Scenarios() []Scenario {
 		},
 		{
 			Name: "benign/churn",
-			Doc:  "6 servers leave the membership mid-run and rejoin empty later",
+			Doc:  "6 servers leave the membership mid-run and rejoin empty later; delta gossip keeps converging across the membership change (rejoiners are first contact again)",
 			Build: func(scale int, seed int64) (Config, error) {
 				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
 				if err != nil {
@@ -135,6 +135,7 @@ func Scenarios() []Scenario {
 				return Config{
 					Name: "benign/churn", System: sys, Mode: register.Benign,
 					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					GossipEvery: 5, GossipFanout: 2,
 					Schedule: Schedule{
 						At(ops/3, Leave(churned...)),
 						At(2*ops/3, Join(churned...)),
@@ -239,6 +240,59 @@ func Scenarios() []Scenario {
 					WireCodec: transport.CodecGob,
 					Schedule: Schedule{
 						At(0, Drop(0.01), Reorder(200*time.Microsecond)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "wan/slow-link",
+			Doc:  "every link byte-limited to 256 KB/s (64 KB/s mid-run) with WAN latency; the compressed codec carries the run under tcp-virtual while delta gossip interleaves — serialization delay stretches tails but ε must stay within the Theorem 3.16 bound",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "wan/slow-link", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					// Byte rates only exist on the byte-stream plane, so the
+					// scenario runs virtual; on mem the ByteRate actions are
+					// documented no-ops and the run degrades to a latency
+					// scenario (the determinism contract still holds).
+					Virtual:    true,
+					LatencyMin: 2 * time.Millisecond, LatencyMax: 8 * time.Millisecond,
+					WireCodec:   transport.CodecBinaryFlate,
+					GossipEvery: 5, GossipFanout: 2,
+					Schedule: Schedule{
+						At(0, ByteRate(256<<10)),
+						At(2*ops/5, ByteRate(64<<10)),
+						At(4*ops/5, ByteRate(256<<10)),
+					},
+				}, nil
+			},
+		},
+		{
+			Name: "wan/asym-bandwidth",
+			Doc:  "asymmetric WAN access link: 256 KB/s upstream vs 32 KB/s downstream, so reply legs (value-carrying reads, gossip pulls) pay most of the serialization delay; compressed codec, delta gossip, ε within bound",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "wan/asym-bandwidth", System: sys, Mode: register.Benign,
+					Ops: ops, Seed: seed, Bound: sys.EpsilonBound(),
+					Virtual:    true,
+					LatencyMin: 2 * time.Millisecond, LatencyMax: 8 * time.Millisecond,
+					WireCodec:   transport.CodecBinaryFlate,
+					GossipEvery: 5, GossipFanout: 2,
+					Schedule: Schedule{
+						At(0, ByteRateAsym(256<<10, 32<<10)),
+						// Flip the asymmetry mid-run: now pushes (writes,
+						// gossip deltas) crawl while replies flow.
+						At(ops/2, ByteRateAsym(32<<10, 256<<10)),
 					},
 				}, nil
 			},

@@ -185,6 +185,18 @@ func (rt *runtime) setReorder(d time.Duration) {
 	rt.eng.SetReorder(d)
 }
 
+// setByteRate limits link bandwidth per direction (bytes/sec; 0 = infinite;
+// toServer paces request legs and gossip pushes, toClient paces replies).
+// On the message plane this is a deliberate no-op: bandwidth is a property
+// of a byte stream, and the MemNetwork carries messages, not bytes (the
+// scenario still runs there; the fault simply cannot manifest — the same
+// contract as Duplicate on the stream plane).
+func (rt *runtime) setByteRate(toServer, toClient int64) {
+	if rt.tcp != nil {
+		rt.tcp.Net.SetByteRateAsym(toServer, toClient)
+	}
+}
+
 // actionFunc adapts a closure to Action.
 type actionFunc struct {
 	name string
@@ -300,6 +312,25 @@ func Corrupt(p float64) Action {
 // delivery delay.
 func Reorder(max time.Duration) Action {
 	return actionFunc{fmt.Sprintf("reorder(%v)", max), func(rt *runtime) { rt.setReorder(max) }}
+}
+
+// ByteRate limits every virtual link to bytesPerSec in both directions
+// (0 restores infinite bandwidth). Chunks queue behind their serialization
+// delay, so large frames — uncompressed gossip pushes above all — stretch
+// op latency. No-op on the message plane (see runtime.setByteRate).
+func ByteRate(bytesPerSec int64) Action {
+	return actionFunc{fmt.Sprintf("byterate(%d)", bytesPerSec), func(rt *runtime) {
+		rt.setByteRate(bytesPerSec, bytesPerSec)
+	}}
+}
+
+// ByteRateAsym limits virtual-link bandwidth per direction: toServer paces
+// client→server chunks (request legs, gossip pushes), toClient the reply
+// legs. Models asymmetric WAN access links. No-op on the message plane.
+func ByteRateAsym(toServer, toClient int64) Action {
+	return actionFunc{fmt.Sprintf("byterate(%d/%d)", toServer, toClient), func(rt *runtime) {
+		rt.setByteRate(toServer, toClient)
+	}}
 }
 
 // Behave installs a behavior on the listed replicas (shared instance; use

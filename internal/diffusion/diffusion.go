@@ -12,9 +12,16 @@
 // push fabricated entries. Installing a replica.Verifier (signature check,
 // per [MMR99]) restricts diffusion to self-verifying data.
 //
-// The engine exchanges full state per round, which is the textbook
-// formulation and adequate at library scale; a digest-based variant would
-// only change the wire payload, not the convergence behaviour measured here.
+// The exchange is delta-shaped (the WAN formulation): each engine keeps two
+// watermarks per peer — how far into its own store's adoption sequence the
+// peer has acknowledged (push), and how far into the peer's sequence it has
+// pulled — and a round carries only the entries adopted past those marks.
+// First contact, membership churn, and watermark regression (a peer whose
+// sequence went backwards, i.e. restarted) fall back to a full push, so
+// convergence is never weaker than the textbook full-state exchange; it just
+// stops paying full-state bytes every round. All watermark state lives on
+// the initiator — the GossipDeltaRequest handler is stateless — so a lost
+// reply only costs an idempotent retransmit, never a correctness gap.
 package diffusion
 
 import (
@@ -71,21 +78,58 @@ type Stats struct {
 	Merged uint64
 	// Rejected counts entries refused by the verifier.
 	Rejected uint64
+	// FullSyncs counts pushes that carried the entire store: first
+	// contact with a peer, or recovery after a watermark regression.
+	FullSyncs uint64
+	// Regressions counts peers observed with a store sequence behind our
+	// pull watermark (restarted peers), each forcing a full re-push.
+	Regressions uint64
+	// EntriesPushed / EntriesSuppressed count entries sent per push vs
+	// entries the old full-snapshot push would have sent but the delta
+	// suppressed. BytesPushed / BytesSuppressed are the same accounting
+	// in exact binary-codec payload bytes (wire.Item.EncodedSize).
+	EntriesPushed     uint64
+	EntriesSuppressed uint64
+	BytesPushed       uint64
+	BytesSuppressed   uint64
+}
+
+// peerSync is one peer's watermark pair (initiator-side delta state).
+type peerSync struct {
+	// pushed is our own store sequence the peer has acknowledged: entries
+	// at or below it need not be re-sent. Zero means full push.
+	pushed uint64
+	// pulled is the peer's store sequence we have merged up to; sent as
+	// GossipDeltaRequest.Since.
+	pulled uint64
 }
 
 // Engine drives anti-entropy rounds for one replica.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	sched vtime.Sched
 
-	mu    sync.Mutex // guards rng and peers
+	mu    sync.Mutex // guards rng, peers, sync, sampleBuf, peerBuf
 	rng   *rand.Rand
 	peers []quorum.ServerID // current peer set (mutable under churn)
+	// sync holds per-peer delta watermarks. Entries are dropped when the
+	// peer leaves the set (SetPeers), so a departed-and-rejoined peer is
+	// first contact again — its store may have been rebuilt.
+	sync      map[quorum.ServerID]*peerSync
+	sampleBuf []quorum.ServerID // Floyd sample scratch (selectPeers)
+	peerBuf   []quorum.ServerID // selected-peer scratch, reused per round
 
-	rounds    atomic.Uint64
-	contacted atomic.Uint64
-	failed    atomic.Uint64
-	merged    atomic.Uint64
-	rejected  atomic.Uint64
+	rounds     atomic.Uint64
+	contacted  atomic.Uint64
+	failed     atomic.Uint64
+	merged     atomic.Uint64
+	rejected   atomic.Uint64
+	fullSyncs  atomic.Uint64
+	regressed  atomic.Uint64
+	entPushed  atomic.Uint64
+	entSupp    atomic.Uint64
+	bytePushed atomic.Uint64
+	byteSupp   atomic.Uint64
 }
 
 // NewEngine validates cfg and returns an engine.
@@ -106,7 +150,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg.Interval = 100 * time.Millisecond
 	}
 	cfg.Clock = vtime.Or(cfg.Clock)
-	e := &Engine{cfg: cfg, rng: cfg.Rand}
+	e := &Engine{
+		cfg:   cfg,
+		sched: vtime.SchedOf(cfg.Clock),
+		rng:   cfg.Rand,
+		sync:  make(map[quorum.ServerID]*peerSync),
+	}
 	e.SetPeers(cfg.Peers)
 	return e, nil
 }
@@ -117,7 +166,9 @@ func (e *Engine) Self() quorum.ServerID { return e.cfg.Self }
 // SetPeers replaces the engine's peer set (membership churn: servers
 // joining or leaving mid-diffusion). The engine's own id is filtered out.
 // Safe to call concurrently with Step; the new set takes effect from the
-// next peer selection.
+// next peer selection. Watermarks of departed peers are dropped, so a peer
+// that leaves and rejoins is treated as first contact (full push) — its
+// store may have been rebuilt from scratch while away.
 func (e *Engine) SetPeers(peers []quorum.ServerID) {
 	next := make([]quorum.ServerID, 0, len(peers))
 	for _, p := range peers {
@@ -127,23 +178,59 @@ func (e *Engine) SetPeers(peers []quorum.ServerID) {
 	}
 	e.mu.Lock()
 	e.peers = next
+	for id := range e.sync {
+		keep := false
+		for _, p := range next {
+			if p == id {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			delete(e.sync, id)
+		}
+	}
 	e.mu.Unlock()
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Rounds:    e.rounds.Load(),
-		Contacted: e.contacted.Load(),
-		Failed:    e.failed.Load(),
-		Merged:    e.merged.Load(),
-		Rejected:  e.rejected.Load(),
+		Rounds:            e.rounds.Load(),
+		Contacted:         e.contacted.Load(),
+		Failed:            e.failed.Load(),
+		Merged:            e.merged.Load(),
+		Rejected:          e.rejected.Load(),
+		FullSyncs:         e.fullSyncs.Load(),
+		Regressions:       e.regressed.Load(),
+		EntriesPushed:     e.entPushed.Load(),
+		EntriesSuppressed: e.entSupp.Load(),
+		BytesPushed:       e.bytePushed.Load(),
+		BytesSuppressed:   e.byteSupp.Load(),
 	}
 }
 
-// Step performs one push-pull round: select Fanout random peers, push the
-// local state to each, merge whatever they return. Peer failures are
-// tolerated and counted; Step only returns an error if the context is done.
+// exchangeResult carries one peer exchange from its worker back to the
+// round's ordered merge phase.
+type exchangeResult struct {
+	reply wire.GossipDeltaReply
+	ok    bool
+	// sentSince is the pull watermark the request carried; pushedUpTo is
+	// our own store sequence the push covered (the new push watermark on
+	// success).
+	sentSince  uint64
+	pushedUpTo uint64
+}
+
+// Step performs one push-pull round: select Fanout random peers, push each
+// the delta since its watermarks, merge whatever they return. The per-peer
+// exchanges run concurrently on vtime-enrolled workers — one slow or
+// byte-limited peer no longer stalls the whole round — but merges and
+// watermark updates happen after the barrier, in peer-selection order, so
+// the round stays deterministic under a SimClock regardless of reply
+// arrival order. Peer failures are tolerated and counted; Step only returns
+// an error if the context is done. Step is not safe for concurrent use with
+// itself (rounds are sequential by construction: Run, Group.Step).
 func (e *Engine) Step(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -157,25 +244,106 @@ func (e *Engine) Step(ctx context.Context) error {
 	// transport.LinkHook) observe true server-to-server links rather than
 	// attributing gossip to an anonymous client.
 	ctx = transport.WithSource(ctx, e.cfg.Self)
-	push := e.buildPush()
-	for _, peer := range peers {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		resp, err := e.cfg.Transport.Call(ctx, peer, push)
-		if err != nil {
-			e.failed.Add(1)
-			continue
-		}
-		reply, ok := resp.(wire.GossipReply)
-		if !ok {
+	results := make([]exchangeResult, len(peers))
+	wg := vtime.NewWaitGroup(e.cfg.Clock)
+	for i, peer := range peers {
+		i, peer := i, peer
+		wg.Add(1)
+		e.sched.Go(func() {
+			defer wg.Done()
+			results[i] = e.exchange(ctx, peer)
+		})
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i, peer := range peers {
+		r := results[i]
+		if !r.ok {
 			e.failed.Add(1)
 			continue
 		}
 		e.contacted.Add(1)
-		e.merge(reply.Entries)
+		e.merge(r.reply.Entries)
+		e.advanceWatermarks(peer, r)
 	}
 	return nil
+}
+
+// exchange pushes the delta for peer and returns its reply. It runs on a
+// round worker; everything it touches is either immutable for the round,
+// covered by a brief e.mu hold, or local to the worker.
+func (e *Engine) exchange(ctx context.Context, peer quorum.ServerID) exchangeResult {
+	e.mu.Lock()
+	var pushed, pulled uint64
+	if ps := e.sync[peer]; ps != nil {
+		pushed, pulled = ps.pushed, ps.pulled
+	}
+	e.mu.Unlock()
+	cur := e.cfg.Store.Seq()
+	changes := e.cfg.Store.Changes(pushed, cur)
+	req := wire.GossipDeltaRequest{Since: pulled}
+	if len(changes) > 0 {
+		req.Entries = make([]wire.Item, 0, len(changes))
+	}
+	var pushedBytes uint64
+	for _, c := range changes {
+		it := wire.Item{Key: c.Key, Value: c.Entry.Value, Stamp: c.Entry.Stamp, Sig: c.Entry.Sig}
+		pushedBytes += uint64(it.EncodedSize())
+		req.Entries = append(req.Entries, it)
+	}
+	// Account what the old full-snapshot push would have cost. The store
+	// reads race concurrent writes, so clamp the differences at zero.
+	fullEntries := uint64(e.cfg.Store.Len())
+	fullBytes := uint64(e.cfg.Store.WireSize())
+	e.entPushed.Add(uint64(len(req.Entries)))
+	e.bytePushed.Add(pushedBytes)
+	if n := uint64(len(req.Entries)); fullEntries > n {
+		e.entSupp.Add(fullEntries - n)
+	}
+	if fullBytes > pushedBytes {
+		e.byteSupp.Add(fullBytes - pushedBytes)
+	}
+	if pushed == 0 {
+		e.fullSyncs.Add(1)
+	}
+	resp, err := e.cfg.Transport.Call(ctx, peer, req)
+	if err != nil {
+		return exchangeResult{}
+	}
+	reply, ok := resp.(wire.GossipDeltaReply)
+	if !ok {
+		return exchangeResult{}
+	}
+	return exchangeResult{reply: reply, ok: true, sentSince: pulled, pushedUpTo: cur}
+}
+
+// advanceWatermarks records a successful exchange. Watermarks only move on
+// success — a lost reply leaves them put, costing nothing worse than an
+// idempotent retransmit next round.
+func (e *Engine) advanceWatermarks(peer quorum.ServerID, r exchangeResult) {
+	e.mu.Lock()
+	ps := e.sync[peer]
+	if ps == nil {
+		ps = &peerSync{}
+		e.sync[peer] = ps
+	}
+	if r.reply.UpTo < r.sentSince {
+		// The peer's sequence went backwards: it restarted with a fresh
+		// store, so everything we ever pushed is gone. Reset the push
+		// watermark; next round is a full push. (A peer that restarts
+		// and races past our pull watermark before we gossip it again is
+		// indistinguishable from a live peer — detecting that would need
+		// a store-epoch field, i.e. a new wire tag. The harness's churn
+		// path instead signals rejoin via SetPeers, which drops state.)
+		ps.pushed = 0
+		e.regressed.Add(1)
+	} else {
+		ps.pushed = r.pushedUpTo
+	}
+	ps.pulled = r.reply.UpTo
+	e.mu.Unlock()
 }
 
 // Run gossips every Interval until ctx is cancelled. The pacing comes from
@@ -194,17 +362,10 @@ func (e *Engine) Run(ctx context.Context) {
 	}
 }
 
-func (e *Engine) buildPush() wire.GossipRequest {
-	snap := e.cfg.Store.Snapshot()
-	req := wire.GossipRequest{Entries: make([]wire.Item, 0, len(snap))}
-	for k, entry := range snap {
-		req.Entries = append(req.Entries, wire.Item{
-			Key: k, Value: entry.Value, Stamp: entry.Stamp, Sig: entry.Sig,
-		})
-	}
-	return req
-}
-
+// selectPeers draws Fanout distinct peers with Floyd's O(k) sampler
+// (quorum.SampleKInto) instead of materializing a full rng.Perm every
+// round. Both scratch slices are engine-owned and reused: rounds are
+// sequential, so the returned slice is live only until the next call.
 func (e *Engine) selectPeers() []quorum.ServerID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -212,11 +373,15 @@ func (e *Engine) selectPeers() []quorum.ServerID {
 	if k > len(e.peers) {
 		k = len(e.peers)
 	}
-	idx := e.rng.Perm(len(e.peers))[:k]
-	out := make([]quorum.ServerID, k)
-	for i, j := range idx {
-		out[i] = e.peers[j]
+	if k == 0 {
+		return nil
 	}
+	e.sampleBuf = quorum.SampleKInto(e.rng, len(e.peers), k, e.sampleBuf)
+	out := e.peerBuf[:0]
+	for _, j := range e.sampleBuf {
+		out = append(out, e.peers[j])
+	}
+	e.peerBuf = out
 	return out
 }
 
@@ -242,12 +407,22 @@ type Group struct {
 	fanout   int
 	verifier replica.Verifier
 	seed     int64
+	clock    vtime.Clock
 }
 
 // NewGroup builds engines for every replica in reps over the given
 // transport. Seed derives per-engine randomness deterministically.
 func NewGroup(reps []*replica.Replica, tr transport.Transport, fanout int, verifier replica.Verifier, seed int64) (*Group, error) {
-	g := &Group{tr: tr, fanout: fanout, verifier: verifier, seed: seed}
+	return NewGroupClock(reps, tr, fanout, verifier, seed, nil)
+}
+
+// NewGroupClock is NewGroup with an explicit clock. Under a vtime.SimClock
+// the engines' parallel fanout workers enroll in the virtual-time
+// scheduler; a plain goroutine there would be invisible to the quiescence
+// detector and deadlock the simulation the moment a worker blocks on a
+// virtual-network call. Pass nil (or a WallClock) outside simulation.
+func NewGroupClock(reps []*replica.Replica, tr transport.Transport, fanout int, verifier replica.Verifier, seed int64, clk vtime.Clock) (*Group, error) {
+	g := &Group{tr: tr, fanout: fanout, verifier: verifier, seed: seed, clock: clk}
 	for _, r := range reps {
 		if err := g.Add(r); err != nil {
 			return nil, err
@@ -293,6 +468,7 @@ func (g *Group) Add(r *replica.Replica) error {
 		Store:     r.Store(),
 		Fanout:    g.fanout,
 		Verifier:  g.verifier,
+		Clock:     g.clock,
 		Rand:      rand.New(rand.NewSource(g.seed + int64(r.ID())*7919)),
 	})
 	if err != nil {

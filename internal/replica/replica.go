@@ -188,6 +188,8 @@ func (r *Replica) Handle(_ context.Context, req any) (any, error) {
 		return wire.WriteReply{Stored: stored}, nil
 	case wire.GossipRequest:
 		return r.handleGossip(m, verifier), nil
+	case wire.GossipDeltaRequest:
+		return r.handleGossipDelta(m, verifier), nil
 	case wire.PingRequest:
 		return wire.PingReply{ServerID: int(r.id)}, nil
 	default:
@@ -215,6 +217,38 @@ func (r *Replica) handleGossip(m wire.GossipRequest, verify Verifier) wire.Gossi
 			continue
 		}
 		reply.Entries = append(reply.Entries, wire.Item{Key: key, Value: e.Value, Stamp: e.Stamp, Sig: e.Sig})
+	}
+	return reply
+}
+
+// handleGossipDelta answers the watermark-bounded anti-entropy exchange: it
+// merges the initiator's entries (subject to the verifier) and returns the
+// local entries adopted in (Since, UpTo] of this store's own sequence. The
+// handler keeps no per-peer state — the initiator owns the watermarks.
+func (r *Replica) handleGossipDelta(m wire.GossipDeltaRequest, verify Verifier) wire.GossipDeltaReply {
+	// Bound the reply at the sequence observed BEFORE merging, so entries
+	// this very request delivered are not echoed straight back at their
+	// sender; the initiator pulls anything adopted past cur next round.
+	cur := r.store.Seq()
+	for _, e := range m.Entries {
+		if verify != nil && !verify(e.Key, e.Value, e.Stamp, e.Sig) {
+			continue
+		}
+		r.store.Apply(e.Key, Entry{Value: e.Value, Stamp: e.Stamp, Sig: e.Sig})
+	}
+	since := m.Since
+	if since > cur {
+		// The initiator has pulled past our current sequence: we lost
+		// state (restart). Answer with a full pull so it can re-sync.
+		since = 0
+	}
+	changes := r.store.Changes(since, cur)
+	reply := wire.GossipDeltaReply{UpTo: cur}
+	if len(changes) > 0 {
+		reply.Entries = make([]wire.Item, 0, len(changes))
+	}
+	for _, c := range changes {
+		reply.Entries = append(reply.Entries, wire.Item{Key: c.Key, Value: c.Entry.Value, Stamp: c.Entry.Stamp, Sig: c.Entry.Sig})
 	}
 	return reply
 }

@@ -7,10 +7,12 @@
 package replica
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"pqs/internal/ts"
+	"pqs/internal/wire"
 )
 
 // Entry is one stored value-timestamp pair, with the writer's signature when
@@ -33,6 +35,13 @@ const numShards = 64
 type Store struct {
 	shards [numShards]shard
 
+	// seq is the store-wide adoption sequence: every Apply that wins the
+	// last-writer-wins merge draws the next number and records it against
+	// the key, giving delta gossip a high-watermark to scan from
+	// (Changes). Sequence numbers are store-local bookkeeping — they are
+	// never serialized and two replicas' sequences are unrelated.
+	seq atomic.Uint64
+
 	// op counters (cumulative; see Stats)
 	gets, applies, adopted atomic.Uint64
 }
@@ -40,6 +49,12 @@ type Store struct {
 type shard struct {
 	mu sync.RWMutex
 	m  map[string]Entry
+	// seq holds each key's adoption sequence number (see Store.seq).
+	seq map[string]uint64
+	// bytes tracks the summed binary wire size (wire.Item.EncodedSize) of
+	// the shard's current entries, so "what would a full push cost"
+	// stays O(shards) to answer instead of O(keys).
+	bytes int64
 }
 
 // NewStore returns an empty store.
@@ -47,6 +62,7 @@ func NewStore() *Store {
 	s := &Store{}
 	for i := range s.shards {
 		s.shards[i].m = make(map[string]Entry)
+		s.shards[i].seq = make(map[string]uint64)
 	}
 	return s
 }
@@ -89,9 +105,73 @@ func (s *Store) Apply(key string, e Entry) bool {
 		return false
 	}
 	sh.m[key] = e
+	// The sequence number is drawn under the shard lock so that any
+	// number at or below a Seq() observation is visible to a subsequent
+	// Changes scan of this shard (the scan serializes on the same lock).
+	sh.seq[key] = s.seq.Add(1)
+	if ok {
+		sh.bytes -= int64(itemWireSize(key, cur))
+	}
+	sh.bytes += int64(itemWireSize(key, e))
 	sh.mu.Unlock()
 	s.adopted.Add(1)
 	return true
+}
+
+// itemWireSize is the exact binary-codec size of the entry as a gossip item.
+func itemWireSize(key string, e Entry) int {
+	return wire.Item{Key: key, Value: e.Value, Stamp: e.Stamp, Sig: e.Sig}.EncodedSize()
+}
+
+// Seq returns the store's current adoption sequence. Entries adopted at or
+// below the returned value are guaranteed visible to a later Changes scan.
+func (s *Store) Seq() uint64 { return s.seq.Load() }
+
+// WireSize returns the summed binary wire size of all current entries — the
+// payload cost a full-snapshot gossip push would incur right now.
+func (s *Store) WireSize() int64 {
+	var n int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Change is one entry surfaced by Changes, with the adoption sequence it was
+// recorded under.
+type Change struct {
+	Key   string
+	Entry Entry
+	Seq   uint64
+}
+
+// Changes returns the entries adopted with sequence numbers in
+// (since, upTo], ordered by ascending sequence. The ordering is
+// deterministic (map iteration order never leaks into the result), which
+// matters on simulated transports: gossip frame bytes — and therefore
+// compressed frame sizes and virtual-link pacing — must replay identically
+// for a given seed. The scan is O(keys); a store-side ring of recent
+// adoptions could make it O(delta) if gossip rounds ever dominate profiles.
+func (s *Store) Changes(since, upTo uint64) []Change {
+	if upTo <= since {
+		return nil
+	}
+	var out []Change
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, sq := range sh.seq {
+			if sq > since && sq <= upTo {
+				out = append(out, Change{Key: k, Entry: sh.m[k], Seq: sq})
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
 }
 
 // Len returns the number of stored keys.
@@ -152,6 +232,8 @@ type StoreStats struct {
 	Gets    uint64
 	Applies uint64
 	Adopted uint64
+	// Seq is the adoption sequence (the delta-gossip high-watermark).
+	Seq uint64
 }
 
 // Stats returns a snapshot of the store's counters.
@@ -161,6 +243,7 @@ func (s *Store) Stats() StoreStats {
 		Gets:    s.gets.Load(),
 		Applies: s.applies.Load(),
 		Adopted: s.adopted.Load(),
+		Seq:     s.seq.Load(),
 	}
 	for i := range s.shards {
 		sh := &s.shards[i]

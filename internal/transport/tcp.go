@@ -32,6 +32,14 @@ const (
 	// kept for wire-compat tests and as a safety hatch: it can carry payload
 	// types the closed binary codec rejects.
 	CodecGob
+	// CodecBinaryFlate is the binary codec with DEFLATE-compressed payload
+	// slots (wire.TagCompressed): the WAN profile. Frames below the
+	// compression threshold — or that deflate cannot shrink — go out in
+	// the legacy binary layout byte-for-byte, so only byte-limited links
+	// pay the compression CPU where it buys bandwidth. A CodecBinary peer
+	// receiving a compressed frame fails loudly with wire.ErrUnknownTag
+	// (both ends must agree on the codec).
+	CodecBinaryFlate
 )
 
 // String implements fmt.Stringer.
@@ -41,8 +49,25 @@ func (c Codec) String() string {
 		return "binary"
 	case CodecGob:
 		return "gob"
+	case CodecBinaryFlate:
+		return "binary-flate"
 	default:
 		return fmt.Sprintf("codec(%d)", int(c))
+	}
+}
+
+// ParseCodec maps a codec name (as printed by String) back to the Codec,
+// for -codec flags.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "binary":
+		return CodecBinary, nil
+	case "gob":
+		return CodecGob, nil
+	case "binary-flate":
+		return CodecBinaryFlate, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown codec %q (want binary, gob or binary-flate)", s)
 	}
 }
 
@@ -77,6 +102,15 @@ type ConnCodecStats struct {
 	MessagesDecoded uint64 `json:"messages_decoded"`
 	BytesEncoded    uint64 `json:"bytes_encoded"`
 	BytesDecoded    uint64 `json:"bytes_decoded"`
+	// Compression accounting (CodecBinaryFlate, encode side; other codecs
+	// leave these zero): RawBytes is the uncompressed size of encoded
+	// payload slots, WireBytes what they occupied on the wire after the
+	// threshold/incompressible-fallback decision, and BytesSaved the
+	// difference — the bandwidth deflate actually bought on this
+	// connection.
+	RawBytes   uint64 `json:"raw_bytes"`
+	WireBytes  uint64 `json:"wire_bytes"`
+	BytesSaved uint64 `json:"bytes_saved"`
 }
 
 // add accumulates o into s.
@@ -85,15 +119,28 @@ func (s *ConnCodecStats) add(o ConnCodecStats) {
 	s.MessagesDecoded += o.MessagesDecoded
 	s.BytesEncoded += o.BytesEncoded
 	s.BytesDecoded += o.BytesDecoded
+	s.RawBytes += o.RawBytes
+	s.WireBytes += o.WireBytes
+	s.BytesSaved += o.BytesSaved
 }
 
 // codecCounters is the mutable per-connection form of ConnCodecStats.
 type codecCounters struct {
 	msgEnc, msgDec, bytesEnc, bytesDec atomic.Uint64
+	rawBytes, wireBytes, bytesSaved    atomic.Uint64
 }
 
 func (c *codecCounters) countEncode(n int) { c.msgEnc.Add(1); c.bytesEnc.Add(uint64(n)) }
 func (c *codecCounters) countDecode(n int) { c.msgDec.Add(1); c.bytesDec.Add(uint64(n)) }
+
+// countFlate records one compressed-capable encode's raw-vs-wire outcome.
+func (c *codecCounters) countFlate(r wire.FlateResult) {
+	c.rawBytes.Add(uint64(r.RawBytes))
+	c.wireBytes.Add(uint64(r.WireBytes))
+	if r.RawBytes > r.WireBytes {
+		c.bytesSaved.Add(uint64(r.RawBytes - r.WireBytes))
+	}
+}
 
 func (c *codecCounters) snapshot() ConnCodecStats {
 	return ConnCodecStats{
@@ -101,6 +148,9 @@ func (c *codecCounters) snapshot() ConnCodecStats {
 		MessagesDecoded: c.msgDec.Load(),
 		BytesEncoded:    c.bytesEnc.Load(),
 		BytesDecoded:    c.bytesDec.Load(),
+		RawBytes:        c.rawBytes.Load(),
+		WireBytes:       c.wireBytes.Load(),
+		BytesSaved:      c.bytesSaved.Load(),
 	}
 }
 
@@ -654,13 +704,23 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			return
 		}
 		bp := wire.GetBuffer()
-		frame, err := wire.AppendReplyEnvelope(*bp, reply)
-		if err != nil {
+		var frame []byte
+		var encErr error
+		if s.codec == CodecBinaryFlate {
+			var res wire.FlateResult
+			frame, res, encErr = wire.AppendReplyEnvelopeFlate(*bp, reply)
+			if encErr == nil {
+				cc.countFlate(res)
+			}
+		} else {
+			frame, encErr = wire.AppendReplyEnvelope(*bp, reply)
+		}
+		if encErr != nil {
 			// The handler returned a payload the closed binary codec cannot
 			// carry; surface that as a permanent RPC error instead of
 			// dropping the reply (the client would hang).
 			frame, _ = wire.AppendReplyEnvelope((*bp)[:0], wire.ReplyEnvelope{
-				ID: env.ID, Err: err.Error(), ErrKind: wire.ErrKindPermanent,
+				ID: env.ID, Err: encErr.Error(), ErrKind: wire.ErrKindPermanent,
 			})
 		}
 		cc.countEncode(len(frame))
@@ -738,7 +798,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		env, err := wire.DecodeEnvelope(body)
+		var env wire.Envelope
+		if s.codec == CodecBinaryFlate {
+			env, err = wire.DecodeEnvelopeFlate(body)
+		} else {
+			env, err = wire.DecodeEnvelope(body)
+		}
 		cc.countDecode(len(body))
 		release()
 		if err != nil {
@@ -1086,7 +1151,15 @@ func (c *tcpConn) send(id uint64, req any) (chan wire.ReplyEnvelope, error) {
 	} else {
 		bp := wire.GetBuffer()
 		var frame []byte
-		frame, err = wire.AppendEnvelope(*bp, wire.Envelope{ID: id, Payload: req})
+		if c.codec == CodecBinaryFlate {
+			var res wire.FlateResult
+			frame, res, err = wire.AppendEnvelopeFlate(*bp, wire.Envelope{ID: id, Payload: req})
+			if err == nil {
+				c.cc.countFlate(res)
+			}
+		} else {
+			frame, err = wire.AppendEnvelope(*bp, wire.Envelope{ID: id, Payload: req})
+		}
 		if err == nil {
 			c.cc.countEncode(len(frame))
 			err = c.w.writeFrame(frame)
@@ -1149,7 +1222,12 @@ func (c *tcpConn) readLoop() {
 			c.failAll()
 			return
 		}
-		reply, err := wire.DecodeReplyEnvelope(body)
+		var reply wire.ReplyEnvelope
+		if c.codec == CodecBinaryFlate {
+			reply, err = wire.DecodeReplyEnvelopeFlate(body)
+		} else {
+			reply, err = wire.DecodeReplyEnvelope(body)
+		}
 		c.cc.countDecode(len(body))
 		release()
 		if err != nil {

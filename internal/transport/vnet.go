@@ -116,7 +116,12 @@ type VirtualNet struct {
 	minLat    time.Duration
 	maxLat    time.Duration
 	perServer map[quorum.ServerID]latRange
-	byteRate  int64 // bytes per second; 0 = infinite
+	// Per-direction link bandwidth in bytes per second; 0 = infinite.
+	// rateUp paces client→server chunks (the request leg), rateDown
+	// server→client (the reply leg) — asymmetric WAN links have different
+	// capacities per direction.
+	rateUp   int64
+	rateDown int64
 	dropP     float64
 	corruptP  float64
 	jitterMax time.Duration
@@ -192,16 +197,25 @@ func (vn *VirtualNet) SetServerLatency(id quorum.ServerID, min, max time.Duratio
 	vn.perServer[id] = latRange{min: min, max: max}
 }
 
-// SetByteRate sets the link bandwidth in bytes per second: each chunk adds
-// its serialization delay and occupies its direction of the link while
-// transmitting. Zero means infinite bandwidth.
+// SetByteRate sets the link bandwidth in bytes per second, symmetrically in
+// both directions: each chunk adds its serialization delay and occupies its
+// direction of the link while transmitting. Zero means infinite bandwidth.
 func (vn *VirtualNet) SetByteRate(bytesPerSec int64) {
-	if bytesPerSec < 0 {
+	vn.SetByteRateAsym(bytesPerSec, bytesPerSec)
+}
+
+// SetByteRateAsym sets the link bandwidth per direction: toServer paces
+// client→server chunks (request legs, gossip pushes), toClient paces
+// server→client chunks (reply legs). Zero means infinite in that direction.
+// Asymmetric rates model WAN access links whose upstream and downstream
+// capacities differ.
+func (vn *VirtualNet) SetByteRateAsym(toServer, toClient int64) {
+	if toServer < 0 || toClient < 0 {
 		panic("transport: negative byte rate")
 	}
 	vn.mu.Lock()
 	defer vn.mu.Unlock()
-	vn.byteRate = bytesPerSec
+	vn.rateUp, vn.rateDown = toServer, toClient
 }
 
 // SetDrop sets the per-chunk loss probability. A dropped chunk resets its
@@ -439,7 +453,11 @@ func (vn *VirtualNet) verdict(link vlinkKey, size int) chunkVerdict {
 	if lr, ok := vn.perServer[link.server]; ok {
 		minLat, maxLat = lr.min, lr.max
 	}
-	dropP, corruptP, jitterMax, rate := vn.dropP, vn.corruptP, vn.jitterMax, vn.byteRate
+	dropP, corruptP, jitterMax := vn.dropP, vn.corruptP, vn.jitterMax
+	rate := vn.rateDown
+	if link.toServer {
+		rate = vn.rateUp
+	}
 	vn.stats.chunks++
 	vn.stats.chunkBytes += uint64(size)
 

@@ -48,6 +48,16 @@ const (
 	// so a decoder predating it fails the frame with ErrUnknownTag instead
 	// of desyncing; see the versioning rule in the package doc.
 	TagErrKind byte = 9
+	// TagCompressed wraps a DEFLATE-compressed tagged message in an
+	// envelope's payload slot (transport.CodecBinaryFlate; see flate.go).
+	// Minted as its own tag so a decoder predating compression fails the
+	// frame with ErrUnknownTag instead of misparsing deflate bytes.
+	TagCompressed byte = 10
+	// TagGossipDeltaReq / TagGossipDeltaReply carry the watermark-bounded
+	// anti-entropy exchange that supersedes the full-snapshot
+	// GossipRequest/GossipReply pair for WAN deployments.
+	TagGossipDeltaReq   byte = 11
+	TagGossipDeltaReply byte = 12
 )
 
 // Codec decode errors.
@@ -318,6 +328,58 @@ func (m *GossipReply) DecodeFrom(b []byte) ([]byte, error) {
 }
 
 // AppendTo appends the message body (no tag) to b.
+func (m GossipDeltaRequest) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.Since)
+	return appendItems(b, m.Entries)
+}
+
+// DecodeFrom decodes the message body from b, returning the unconsumed rest.
+func (m *GossipDeltaRequest) DecodeFrom(b []byte) ([]byte, error) {
+	var err error
+	if m.Since, b, err = decodeUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Entries, b, err = decodeItems(b)
+	return b, err
+}
+
+// AppendTo appends the message body (no tag) to b.
+func (m GossipDeltaReply) AppendTo(b []byte) []byte {
+	b = appendUvarint(b, m.UpTo)
+	return appendItems(b, m.Entries)
+}
+
+// DecodeFrom decodes the message body from b, returning the unconsumed rest.
+func (m *GossipDeltaReply) DecodeFrom(b []byte) ([]byte, error) {
+	var err error
+	if m.UpTo, b, err = decodeUvarint(b); err != nil {
+		return nil, err
+	}
+	m.Entries, b, err = decodeItems(b)
+	return b, err
+}
+
+// uvarintLen returns the encoded size of v as a uvarint, without encoding.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EncodedSize returns the exact number of bytes appendItem would emit for
+// it, computed arithmetically so byte accounting (diffusion's
+// suppressed-bytes counters) never has to serialize anything.
+func (it Item) EncodedSize() int {
+	return uvarintLen(uint64(len(it.Key))) + len(it.Key) +
+		uvarintLen(uint64(len(it.Value))) + len(it.Value) +
+		uvarintLen(it.Stamp.Counter) + uvarintLen(uint64(it.Stamp.Writer)) +
+		uvarintLen(uint64(len(it.Sig))) + len(it.Sig)
+}
+
+// AppendTo appends the message body (no tag) to b.
 func (m PingRequest) AppendTo(b []byte) []byte { return b }
 
 // DecodeFrom decodes the message body from b, returning the unconsumed rest.
@@ -341,7 +403,7 @@ func (m *PingReply) DecodeFrom(b []byte) ([]byte, error) {
 // --- tagged messages and envelopes -------------------------------------
 
 // AppendMessage appends msg's type tag and body to b. It fails on payload
-// types outside the 8 wire messages (the binary codec is deliberately
+// types outside the 10 wire messages (the binary codec is deliberately
 // closed; see the versioning rule in the package doc).
 func AppendMessage(b []byte, msg any) ([]byte, error) {
 
@@ -358,6 +420,10 @@ func AppendMessage(b []byte, msg any) ([]byte, error) {
 		b = m.AppendTo(append(b, TagGossipReq))
 	case GossipReply:
 		b = m.AppendTo(append(b, TagGossipReply))
+	case GossipDeltaRequest:
+		b = m.AppendTo(append(b, TagGossipDeltaReq))
+	case GossipDeltaReply:
+		b = m.AppendTo(append(b, TagGossipDeltaReply))
 	case PingRequest:
 		b = m.AppendTo(append(b, TagPingRequest))
 	case PingReply:
@@ -404,6 +470,14 @@ func DecodeMessage(b []byte) (any, []byte, error) {
 		msg = m
 	case TagGossipReply:
 		var m GossipReply
+		rest, err = m.DecodeFrom(body)
+		msg = m
+	case TagGossipDeltaReq:
+		var m GossipDeltaRequest
+		rest, err = m.DecodeFrom(body)
+		msg = m
+	case TagGossipDeltaReply:
+		var m GossipDeltaReply
 		rest, err = m.DecodeFrom(body)
 		msg = m
 	case TagPingRequest:

@@ -96,7 +96,7 @@ func randItems(r *rand.Rand) []Item {
 }
 
 // TestBinaryMatchesGobRoundTrip is the codec equivalence property of the
-// data-plane fast path: for every one of the 8 wire message types, decoding
+// data-plane fast path: for every one of the 10 wire message types, decoding
 // a binary encoding yields exactly what decoding a gob encoding yields —
 // including the nil/empty-slice normalization gob performs and multi-KB
 // values.
@@ -113,6 +113,8 @@ func TestBinaryMatchesGobRoundTrip(t *testing.T) {
 			GossipReply{Entries: randItems(r)},
 			PingRequest{},
 			PingReply{ServerID: r.Intn(1 << 20)},
+			GossipDeltaRequest{Since: r.Uint64() >> uint(r.Intn(64)), Entries: randItems(r)},
+			GossipDeltaReply{UpTo: r.Uint64() >> uint(r.Intn(64)), Entries: randItems(r)},
 		}
 		for _, m := range msgs {
 			viaBinary := binaryRoundTrip(t, m)
@@ -244,8 +246,10 @@ func TestDecodeMessageRejectsCorruptInput(t *testing.T) {
 	}
 }
 
-// FuzzDecodeMessage asserts the decoder never panics or over-allocates on
-// arbitrary bytes: whatever it accepts must re-encode.
+// FuzzDecodeMessage asserts the decoders never panic or over-allocate on
+// arbitrary bytes: whatever DecodeMessage accepts must re-encode, and the
+// compressed-capable envelope decoders must error (not panic, not desync)
+// on truncated or corrupted deflate streams and lying length prefixes.
 func FuzzDecodeMessage(f *testing.F) {
 	seed, err := AppendMessage(nil, WriteRequest{Key: "k", Value: []byte("v"), Stamp: ts.Stamp{Counter: 1, Writer: 2}})
 	if err != nil {
@@ -254,7 +258,31 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{TagGossipReq, 3, 1, 'k', 0, 1, 1, 0})
 	f.Add([]byte{})
+	// A well-formed compressed request envelope, plus truncated and
+	// corrupted variants and a lying rawLen prefix, to steer the fuzzer
+	// into the inflate path.
+	env := Envelope{ID: 3, Payload: WriteRequest{Key: "k", Value: bytes.Repeat([]byte("abcd"), 512)}}
+	comp, res, err := AppendEnvelopeFlate(nil, env)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if !res.Compressed {
+		f.Fatal("fuzz seed envelope unexpectedly raw")
+	}
+	f.Add(comp)
+	f.Add(comp[:len(comp)/2])
+	corrupt := append([]byte{}, comp...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	lying := append([]byte{}, comp...)
+	lying[2] ^= 0x55 // inside the rawLen uvarint
+	f.Add(lying)
+	f.Add([]byte{TagCompressed, 0xff, 0xff, 0xff, 0xff, 0x7f})
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The compressed-capable decoders must never panic; errors are the
+		// expected outcome for hostile input.
+		_, _ = DecodeEnvelopeFlate(data)
+		_, _ = DecodeReplyEnvelopeFlate(data)
 		msg, _, err := DecodeMessage(data)
 		if err != nil {
 			return

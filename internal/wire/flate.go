@@ -1,0 +1,308 @@
+package wire
+
+// Compressed frames for transport.CodecBinaryFlate.
+//
+// The compressed layout wraps only the payload slot of an envelope: the
+// uvarint ID (and, on replies, the Err string and the TagNone/TagErrKind
+// fast paths) stay byte-identical to the legacy layout, and the tagged
+// message that would have followed is replaced by
+//
+//	TagCompressed uvarint(rawLen) deflate(tag payload)
+//
+// where rawLen is the decompressed length of `tag payload`. Three rules keep
+// the two codecs interoperable-by-failure rather than silently divergent:
+//
+//  1. Threshold: payloads shorter than FlateMinSize are emitted in the
+//     legacy uncompressed layout — deflate's fixed overhead loses on small
+//     frames, and byte-identical small traffic keeps goldens and captures
+//     comparable across codecs.
+//  2. Incompressible fallback: if the deflate stream (plus wrapper overhead)
+//     is not strictly smaller than the raw payload, the raw layout is kept.
+//     Already-compressed or high-entropy values never pay an inflation tax.
+//  3. Loud failure: TagCompressed is a minted tag, so a CodecBinary peer
+//     that receives a compressed frame fails it with ErrUnknownTag and
+//     closes the connection — the versioning rule's failure mode, never a
+//     desync. (Both ends must agree on the codec; the framing is not
+//     self-describing.)
+//
+// Decoding is hostile-input safe: rawLen is capped before any allocation,
+// the inflated stream must produce exactly rawLen bytes (a lying length
+// prefix in either direction is an error), and the inflated payload must
+// decode with no trailing bytes. FuzzDecodeMessage locks this in.
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// FlateMinSize is the compression threshold: envelope payloads shorter than
+// this are sent in the legacy uncompressed layout. 256 bytes clears every
+// control message (reads, acks, pings) while catching value-bearing replies
+// and gossip batches, where deflate actually pays.
+const FlateMinSize = 256
+
+// maxInflatedSize bounds the decompressed size a compressed frame may claim,
+// mirroring the transport's 64 MiB frame cap so a hostile rawLen cannot make
+// the decoder allocate unboundedly.
+const maxInflatedSize = 64 << 20
+
+// FlateResult reports what one compressed-capable encode did, for the
+// transport's raw-bytes/wire-bytes/bytes-saved counters.
+type FlateResult struct {
+	// RawBytes is the size of the uncompressed payload slot (tag+payload).
+	RawBytes int
+	// WireBytes is the size the payload slot occupies on the wire: equal
+	// to RawBytes when the frame went out raw, smaller when compressed.
+	WireBytes int
+	// Compressed reports whether the compressed layout was used.
+	Compressed bool
+}
+
+// flateWriterPool recycles *flate.Writer values (each holds ~64 KiB of
+// state; constructing one per frame would dominate the encode cost).
+var flateWriterPool = sync.Pool{
+	New: func() any {
+		w, err := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		if err != nil {
+			// Only reachable with an invalid level constant.
+			panic(err)
+		}
+		return w
+	},
+}
+
+// flateReader bundles the inflater with its source so both reset together
+// from one pool hit.
+type flateReader struct {
+	src bytes.Reader
+	fr  io.ReadCloser
+}
+
+var flateReaderPool = sync.Pool{
+	New: func() any {
+		r := &flateReader{}
+		r.fr = flate.NewReader(&r.src)
+		return r
+	},
+}
+
+// appendSink adapts an append-grown byte slice to io.Writer for the flate
+// writer, avoiding a bytes.Buffer copy.
+type appendSink struct{ b []byte }
+
+func (s *appendSink) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// appendCompressed appends the payload slot for raw (a `tag payload` byte
+// string) to b, choosing the compressed or legacy layout per the rules in
+// the file comment. raw must not alias b's free capacity.
+func appendCompressed(b, raw []byte) ([]byte, FlateResult) {
+	res := FlateResult{RawBytes: len(raw), WireBytes: len(raw)}
+	if len(raw) < FlateMinSize {
+		return append(b, raw...), res
+	}
+	sink := getSink()
+	fw := flateWriterPool.Get().(*flate.Writer)
+	fw.Reset(sink)
+	_, werr := fw.Write(raw)
+	cerr := fw.Close()
+	flateWriterPool.Put(fw)
+	// The wrapper costs the tag byte plus the rawLen prefix; compression
+	// must beat the raw layout including that overhead, strictly.
+	overhead := 1 + uvarintLen(uint64(len(raw)))
+	if werr != nil || cerr != nil || len(sink.b)+overhead >= len(raw) {
+		b = append(b, raw...)
+		putSink(sink)
+		return b, res
+	}
+	b = append(b, TagCompressed)
+	b = appendUvarint(b, uint64(len(raw)))
+	b = append(b, sink.b...)
+	res.WireBytes = len(sink.b) + overhead
+	res.Compressed = true
+	putSink(sink)
+	return b, res
+}
+
+// sinkPool recycles compression scratch sinks (distinct from bufPool so a
+// caller already holding a GetBuffer can't deadlock-by-aliasing).
+var sinkPool = sync.Pool{New: func() any { return &appendSink{b: make([]byte, 0, 512)} }}
+
+func getSink() *appendSink { return sinkPool.Get().(*appendSink) }
+
+func putSink(s *appendSink) {
+	if cap(s.b) > 1<<20 {
+		return
+	}
+	s.b = s.b[:0]
+	sinkPool.Put(s)
+}
+
+// decodeCompressed inflates a payload slot that starts with TagCompressed
+// (b[0] == TagCompressed on entry) and returns the decompressed `tag
+// payload` bytes in a pooled buffer. The caller must PutBuffer the returned
+// buffer after the decoded message's fields have been copied out (which
+// DecodeMessage's decoders always do).
+func decodeCompressed(b []byte) (*[]byte, error) {
+	rawLen, comp, err := decodeUvarint(b[1:])
+	if err != nil {
+		return nil, err
+	}
+	if rawLen > maxInflatedSize {
+		return nil, fmt.Errorf("wire: compressed frame claims %d inflated bytes (cap %d)", rawLen, int64(maxInflatedSize))
+	}
+	fr := flateReaderPool.Get().(*flateReader)
+	defer flateReaderPool.Put(fr)
+	defer fr.src.Reset(nil) // don't pin the frame buffer while pooled
+	fr.src.Reset(comp)
+	if err := fr.fr.(flate.Resetter).Reset(&fr.src, nil); err != nil {
+		return nil, err
+	}
+	bp := GetBuffer()
+	if cap(*bp) < int(rawLen) {
+		*bp = make([]byte, rawLen)
+	}
+	raw := (*bp)[:rawLen]
+	if _, err := io.ReadFull(fr.fr, raw); err != nil {
+		// Truncated or corrupt stream, or a length prefix claiming more
+		// bytes than the stream holds.
+		PutBuffer(bp)
+		return nil, fmt.Errorf("wire: inflate compressed frame: %w", err)
+	}
+	// A length prefix claiming FEWER bytes than the stream holds is just as
+	// much a lie: the stream must be exhausted exactly at rawLen.
+	var one [1]byte
+	if n, err := fr.fr.Read(one[:]); n != 0 || err != io.EOF {
+		PutBuffer(bp)
+		return nil, fmt.Errorf("wire: compressed frame longer than its %d-byte length prefix", rawLen)
+	}
+	*bp = raw
+	return bp, nil
+}
+
+// decodeMessageMaybeCompressed decodes the payload slot at b, accepting both
+// the legacy uncompressed layout and the TagCompressed wrapper. It returns
+// the decoded message and the unconsumed rest of b (always empty bytes after
+// a compressed slot, which spans the remainder of the envelope).
+func decodeMessageMaybeCompressed(b []byte) (any, []byte, error) {
+	if len(b) >= 1 && b[0] == TagCompressed {
+		bp, err := decodeCompressed(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		msg, rest, err := DecodeMessage(*bp)
+		if err == nil && len(rest) != 0 {
+			err = fmt.Errorf("wire: %d trailing bytes inside compressed frame", len(rest))
+		}
+		PutBuffer(bp)
+		if err != nil {
+			return nil, nil, err
+		}
+		return msg, nil, nil
+	}
+	return DecodeMessage(b)
+}
+
+// AppendEnvelopeFlate appends a request envelope body in the
+// compressed-capable layout (CodecBinaryFlate): identical to AppendEnvelope
+// except that payload slots of FlateMinSize bytes or more that deflate can
+// shrink go out as TagCompressed frames. The FlateResult reports raw and
+// wire payload sizes for the transport's codec counters.
+func AppendEnvelopeFlate(b []byte, env Envelope) ([]byte, FlateResult, error) {
+	b = appendUvarint(b, env.ID)
+	scratch := GetBuffer()
+	raw, err := AppendMessage(*scratch, env.Payload)
+	if err != nil {
+		PutBuffer(scratch)
+		return b, FlateResult{}, err
+	}
+	var res FlateResult
+	b, res = appendCompressed(b, raw)
+	*scratch = raw
+	PutBuffer(scratch)
+	return b, res, nil
+}
+
+// DecodeEnvelopeFlate decodes a request envelope body produced by
+// AppendEnvelopeFlate — or by AppendEnvelope, since sub-threshold frames are
+// byte-identical to the legacy layout.
+func DecodeEnvelopeFlate(b []byte) (Envelope, error) {
+	var env Envelope
+	var err error
+	if env.ID, b, err = decodeUvarint(b); err != nil {
+		return env, err
+	}
+	env.Payload, b, err = decodeMessageMaybeCompressed(b)
+	if err != nil {
+		return env, err
+	}
+	if len(b) != 0 {
+		return env, fmt.Errorf("wire: %d trailing bytes after envelope", len(b))
+	}
+	return env, nil
+}
+
+// AppendReplyEnvelopeFlate appends a reply envelope body in the
+// compressed-capable layout. Error replies (TagNone / TagErrKind payload
+// slots) are byte-identical to AppendReplyEnvelope — they are far below the
+// threshold and compressing them would hide the fast error path from
+// packet captures.
+func AppendReplyEnvelopeFlate(b []byte, env ReplyEnvelope) ([]byte, FlateResult, error) {
+	if env.Err != "" || env.Payload == nil {
+		b, err := AppendReplyEnvelope(b, env)
+		return b, FlateResult{}, err
+	}
+	b = appendUvarint(b, env.ID)
+	b = appendString(b, env.Err)
+	scratch := GetBuffer()
+	raw, err := AppendMessage(*scratch, env.Payload)
+	if err != nil {
+		PutBuffer(scratch)
+		return b, FlateResult{}, err
+	}
+	var res FlateResult
+	b, res = appendCompressed(b, raw)
+	*scratch = raw
+	PutBuffer(scratch)
+	return b, res, nil
+}
+
+// DecodeReplyEnvelopeFlate decodes a reply envelope body produced by
+// AppendReplyEnvelopeFlate (or AppendReplyEnvelope; sub-threshold frames
+// are byte-identical).
+func DecodeReplyEnvelopeFlate(b []byte) (ReplyEnvelope, error) {
+	var env ReplyEnvelope
+	var err error
+	if env.ID, b, err = decodeUvarint(b); err != nil {
+		return env, err
+	}
+	if env.Err, b, err = decodeString(b); err != nil {
+		return env, err
+	}
+	if len(b) < 1 {
+		return env, ErrShortBuffer
+	}
+	switch b[0] {
+	case TagNone:
+		b = b[1:]
+	case TagErrKind:
+		if len(b) < 2 {
+			return env, ErrShortBuffer
+		}
+		env.ErrKind = b[1]
+		b = b[2:]
+	default:
+		if env.Payload, b, err = decodeMessageMaybeCompressed(b); err != nil {
+			return env, err
+		}
+	}
+	if len(b) != 0 {
+		return env, fmt.Errorf("wire: %d trailing bytes after reply envelope", len(b))
+	}
+	return env, nil
+}

@@ -1,0 +1,252 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pqs/internal/ts"
+)
+
+// compressibleValue is a payload deflate shrinks dramatically: repeated
+// structured text, the shape of real redundant application data.
+func compressibleValue(n int) []byte {
+	return bytes.Repeat([]byte("the-same-sixteen!"), n/16+1)[:n]
+}
+
+// incompressibleValue is high-entropy data deflate cannot shrink.
+func incompressibleValue(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestFlateEnvelopeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		var value []byte
+		if i%2 == 0 {
+			value = compressibleValue(512 + r.Intn(8192))
+		} else {
+			value = incompressibleValue(r, 512+r.Intn(8192))
+		}
+		env := Envelope{
+			ID:      r.Uint64(),
+			Payload: WriteRequest{Key: randKey(r), Value: value, Stamp: randStamp(r), Sig: randBytes(r)},
+		}
+		b, res, err := AppendEnvelopeFlate(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RawBytes < FlateMinSize {
+			t.Fatalf("trial %d: raw payload %d below threshold, test is vacuous", i, res.RawBytes)
+		}
+		if i%2 == 0 && !res.Compressed {
+			t.Fatalf("trial %d: compressible %d-byte payload went out raw", i, res.RawBytes)
+		}
+		if res.Compressed && res.WireBytes >= res.RawBytes {
+			t.Fatalf("trial %d: compressed but wire %d >= raw %d", i, res.WireBytes, res.RawBytes)
+		}
+		if !res.Compressed && res.WireBytes != res.RawBytes {
+			t.Fatalf("trial %d: raw fallback but wire %d != raw %d", i, res.WireBytes, res.RawBytes)
+		}
+		got, err := DecodeEnvelopeFlate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := Envelope{ID: env.ID, Payload: gobRoundTrip(t, env.Payload)}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: flate envelope round trip mismatch (compressed=%v)", i, res.Compressed)
+		}
+	}
+}
+
+// TestFlateSubThresholdIdentical pins interop rule 1: payload slots below
+// FlateMinSize are byte-identical to the legacy layout, so a CodecBinary
+// capture and a CodecBinaryFlate capture of small traffic compare equal.
+func TestFlateSubThresholdIdentical(t *testing.T) {
+	env := Envelope{ID: 42, Payload: ReadRequest{Key: "k"}}
+	legacy, err := AppendEnvelope(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flated, res, err := AppendEnvelopeFlate(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed {
+		t.Fatal("sub-threshold frame was compressed")
+	}
+	if !bytes.Equal(legacy, flated) {
+		t.Fatalf("sub-threshold flate layout differs from legacy:\n%x\n%x", legacy, flated)
+	}
+	// And the legacy decoder reads it, naturally.
+	if _, err := DecodeEnvelope(flated); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlateIncompressibleFallback pins interop rule 2: a high-entropy
+// payload above the threshold keeps the raw layout (no inflation tax) and
+// stays legacy-readable.
+func TestFlateIncompressibleFallback(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	env := Envelope{ID: 7, Payload: WriteRequest{Key: "k", Value: incompressibleValue(r, 4096)}}
+	legacy, err := AppendEnvelope(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flated, res, err := AppendEnvelopeFlate(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compressed {
+		t.Fatalf("4 KiB of random bytes claimed compressible (wire %d, raw %d)", res.WireBytes, res.RawBytes)
+	}
+	if !bytes.Equal(legacy, flated) {
+		t.Fatal("incompressible fallback layout differs from legacy")
+	}
+}
+
+// TestFlateLegacyDecoderFailsLoudly pins interop rule 3 (the versioning
+// rule's failure mode): a CodecBinary peer handed a compressed frame gets
+// ErrUnknownTag, never a silent desync.
+func TestFlateLegacyDecoderFailsLoudly(t *testing.T) {
+	env := Envelope{ID: 9, Payload: WriteRequest{Key: "k", Value: compressibleValue(4096)}}
+	b, res, err := AppendEnvelopeFlate(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compressed {
+		t.Fatal("frame unexpectedly went out raw; test is vacuous")
+	}
+	if _, err := DecodeEnvelope(b); !errors.Is(err, ErrUnknownTag) {
+		t.Fatalf("legacy decode of compressed frame: err = %v, want ErrUnknownTag", err)
+	}
+}
+
+func TestFlateReplyEnvelopeRoundTrip(t *testing.T) {
+	cases := []ReplyEnvelope{
+		{ID: 1, Payload: ReadReply{Found: true, Value: compressibleValue(8192), Stamp: ts.Stamp{Counter: 3, Writer: 1}}},
+		{ID: 2, Payload: GossipReply{Entries: []Item{{Key: "k", Value: compressibleValue(2048)}}}},
+		{ID: 3, Payload: WriteReply{Stored: true}}, // sub-threshold
+	}
+	for _, env := range cases {
+		b, _, err := AppendReplyEnvelopeFlate(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeReplyEnvelopeFlate(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != env.ID || !reflect.DeepEqual(got.Payload, gobRoundTrip(t, env.Payload)) {
+			t.Fatalf("flate reply round trip mismatch for ID %d", env.ID)
+		}
+	}
+}
+
+// TestFlateErrorRepliesStayLegacy: error replies (TagNone / TagErrKind) are
+// byte-identical under both codecs — the error fast path never hides behind
+// compression.
+func TestFlateErrorRepliesStayLegacy(t *testing.T) {
+	cases := []ReplyEnvelope{
+		{ID: 4, Err: "boom"},
+		{ID: 5, Err: "overloaded", ErrKind: ErrKindTransient},
+	}
+	for _, env := range cases {
+		legacy, err := AppendReplyEnvelope(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flated, res, err := AppendReplyEnvelopeFlate(nil, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Compressed || res.RawBytes != 0 {
+			t.Fatalf("error reply produced FlateResult %+v, want zero", res)
+		}
+		if !bytes.Equal(legacy, flated) {
+			t.Fatalf("error reply layout differs from legacy for %+v", env)
+		}
+		got, err := DecodeReplyEnvelopeFlate(flated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Err != env.Err || got.ErrKind != env.ErrKind {
+			t.Fatalf("error reply round trip: got %+v want %+v", got, env)
+		}
+	}
+}
+
+// TestFlateRejectsLyingLengthPrefix: the rawLen prefix must match the
+// deflate stream exactly — a claim too large (stream exhausts early), too
+// small (stream has leftovers), or past the allocation cap is an error
+// before any decoded field is trusted.
+func TestFlateRejectsLyingLengthPrefix(t *testing.T) {
+	env := Envelope{ID: 1, Payload: WriteRequest{Key: "k", Value: compressibleValue(4096)}}
+	b, res, err := AppendEnvelopeFlate(nil, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Compressed {
+		t.Fatal("frame unexpectedly raw; test is vacuous")
+	}
+	// Envelope body = uvarint(ID=1) ++ TagCompressed ++ uvarint(rawLen) ++ stream.
+	if b[1] != TagCompressed {
+		t.Fatalf("unexpected layout: slot tag %d", b[1])
+	}
+	rawLen, stream, err := decodeUvarint(b[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuild := func(claim uint64) []byte {
+		out := []byte{b[0], TagCompressed}
+		out = appendUvarint(out, claim)
+		return append(out, stream...)
+	}
+	for name, frame := range map[string][]byte{
+		"claims too many bytes": rebuild(rawLen + 100),
+		"claims too few bytes":  rebuild(rawLen - 100),
+		"claims past alloc cap": rebuild(maxInflatedSize + 1),
+		"truncated stream":      b[:len(b)-10],
+		"corrupted stream":      append(append([]byte{}, b[:len(b)-10]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff),
+		"empty stream":          rebuild(rawLen)[:2+len(b)-2-len(stream)],
+	} {
+		if _, err := DecodeEnvelopeFlate(frame); err == nil {
+			t.Errorf("%s: decoder accepted the frame", name)
+		}
+	}
+}
+
+// TestFlateTrailingGarbageInsideFrame: a compressed stream that inflates to
+// a valid message followed by extra bytes is rejected — the inner decode
+// must consume the inflated buffer exactly.
+func TestFlateTrailingGarbageInsideFrame(t *testing.T) {
+	msg, err := AppendMessage(nil, ReadRequest{Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := append(msg, []byte("trailing-garbage")...)
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frame := appendUvarint(nil, 1) // envelope ID
+	frame = append(frame, TagCompressed)
+	frame = appendUvarint(frame, uint64(len(raw)))
+	frame = append(frame, buf.Bytes()...)
+	if _, err := DecodeEnvelopeFlate(frame); err == nil {
+		t.Fatal("decoder accepted trailing bytes inside a compressed frame")
+	}
+}

@@ -28,6 +28,9 @@
 //	7 PingRequest    (empty)
 //	8 PingReply      varint(serverID)
 //	9 ErrKind        kind(1 byte)          (reply payload slot only)
+//	10 Compressed    uvarint(rawLen) deflate(tag payload)
+//	11 GossipDeltaRequest  uvarint(since) uvarint(count) item*
+//	12 GossipDeltaReply    uvarint(upTo) uvarint(count) item*
 //	item             key value stamp sig
 //	stamp            uvarint(counter) uvarint(writer)
 //
@@ -39,6 +42,17 @@
 // that meets a classified reply fails the frame with ErrUnknownTag and
 // closes the connection — the versioning rule's loud failure mode, never a
 // silent desync.
+//
+// Tag 10 is the compressed-frame wrapper used by transport.CodecBinaryFlate
+// (flate.go): it occupies the payload slot of a request or reply envelope,
+// and its body is the DEFLATE stream of the tagged message (`tag payload`)
+// that would have sat there uncompressed, prefixed by the decompressed
+// length. The envelope prefix (uvarint ID, and the Err string on replies)
+// stays uncompressed and byte-identical to the legacy layout. Frames below
+// the compression threshold — or ones deflate cannot shrink — are emitted in
+// the legacy uncompressed layout, so small traffic is byte-identical across
+// the two codecs. A decoder predating tag 10 that meets a compressed frame
+// fails loudly with ErrUnknownTag, per the versioning rule.
 //
 // found/stored are one byte (0/1); key is a string; value/sig are
 // length-prefixed byte fields where a zero length decodes to nil (matching a
@@ -110,6 +124,34 @@ type GossipReply struct {
 	Entries []Item
 }
 
+// GossipDeltaRequest is a watermark-bounded anti-entropy round (the WAN
+// replacement for GossipRequest's full-snapshot push). The initiator sends
+// only the entries its store adopted since the last acknowledged exchange
+// with this peer, plus Since — the high-watermark of the peer's own store
+// sequence the initiator has already pulled — asking for everything newer.
+// Watermark state lives entirely on the initiator; the handler is stateless.
+type GossipDeltaRequest struct {
+	// Since is the peer-store sequence number up to which the initiator
+	// already holds the peer's entries. Zero requests a full pull (first
+	// contact). A Since ahead of the peer's current sequence means the
+	// peer lost state (restart); the peer answers with a full pull.
+	Since uint64
+	// Entries are the initiator's adopted entries the peer has not
+	// acknowledged: a full snapshot on first contact, a delta afterwards.
+	Entries []Item
+}
+
+// GossipDeltaReply answers a GossipDeltaRequest with the entries the peer
+// adopted in (Since, UpTo] of its own store sequence. UpTo becomes the
+// initiator's new pull watermark for this peer.
+type GossipDeltaReply struct {
+	// UpTo is the peer's store sequence as of this reply; Entries covers
+	// (request.Since, UpTo]. An UpTo below the Since the initiator sent
+	// signals the peer regressed (restarted) and Entries is a full pull.
+	UpTo    uint64
+	Entries []Item
+}
+
 // PingRequest probes server liveness.
 type PingRequest struct{}
 
@@ -175,6 +217,8 @@ func RegisterGob() {
 		gob.Register(WriteReply{})
 		gob.Register(GossipRequest{})
 		gob.Register(GossipReply{})
+		gob.Register(GossipDeltaRequest{})
+		gob.Register(GossipDeltaReply{})
 		gob.Register(PingRequest{})
 		gob.Register(PingReply{})
 	})

@@ -51,6 +51,12 @@ type ServerConfig struct {
 	// instead of the wall-clock seed this field replaced, which silently
 	// made every diffusion run over real TCP unreplayable.
 	DiffusionSeed int64
+	// Codec selects the wire serialization (CodecBinary default). Every
+	// client and peer must use the same codec; see ParseCodec for the
+	// flag-level names. StartDiffusion's gossip client inherits it, so a
+	// CodecBinaryFlate cluster compresses its server-to-server batches
+	// too — the traffic compression pays for most.
+	Codec Codec
 }
 
 // ListenAndServe starts a replica with the given server id on addr
@@ -68,7 +74,7 @@ func ListenAndServeConfig(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("pqs: server id %d must be non-negative", cfg.ID)
 	}
 	rep := replica.New(quorum.ServerID(cfg.ID))
-	srv, err := transport.ListenTCP(cfg.Addr, rep)
+	srv, err := transport.ListenTCPCodec(cfg.Addr, rep, cfg.Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +153,7 @@ func (s *Server) StartDiffusion(peers map[int]string, fanout int, interval time.
 		addrs[quorum.ServerID(id)] = a
 		ids = append(ids, quorum.ServerID(id))
 	}
-	tc := transport.NewTCPClient(addrs)
+	tc := transport.NewTCPClientCodec(addrs, s.srv.Codec())
 	eng, err := diffusion.NewEngine(diffusion.Config{
 		Self:      s.rep.ID(),
 		Peers:     ids,
@@ -198,6 +204,11 @@ func Dial(addrs map[int]string) (*TCPClient, error) {
 // DialOptions configures DialConfig. The zero value of every field selects
 // the production default, so DialConfig(addrs, DialOptions{}) == Dial(addrs).
 type DialOptions struct {
+	// Codec selects the wire serialization (CodecBinary default); it must
+	// match the servers'. CodecBinaryFlate deflate-compresses payload
+	// slots above a size threshold — the WAN profile (see the README's
+	// "WAN profile & compression" section).
+	Codec Codec
 	// CallTimeout bounds each Call when the caller's context has no
 	// deadline. Zero means the transport default.
 	CallTimeout time.Duration
@@ -227,6 +238,7 @@ func DialConfig(addrs map[int]string, opts DialOptions) (*TCPClient, error) {
 		m[quorum.ServerID(id)] = a
 	}
 	return transport.NewTCPClientOpts(m, transport.TCPClientOptions{
+		Codec:       opts.Codec,
 		Clock:       opts.Clock,
 		CallTimeout: opts.CallTimeout,
 		Lifecycle:   opts.Lifecycle,
@@ -235,6 +247,26 @@ func DialConfig(addrs map[int]string, opts DialOptions) (*TCPClient, error) {
 
 // TCPClient is the TCP-backed Transport returned by Dial.
 type TCPClient = transport.TCPClient
+
+// Codec selects the wire serialization of a Server or a dialed TCPClient;
+// both ends of every connection must agree (the framing is not
+// self-describing — a mismatch fails loudly at the first frame that
+// diverges, never silently).
+type Codec = transport.Codec
+
+// The available wire codecs. CodecBinary is the hand-rolled binary fast
+// path and the default; CodecGob is the reflective baseline; the flate
+// codec is CodecBinary plus deflate compression of payload slots above a
+// size threshold — the WAN profile.
+const (
+	CodecBinary      = transport.CodecBinary
+	CodecGob         = transport.CodecGob
+	CodecBinaryFlate = transport.CodecBinaryFlate
+)
+
+// ParseCodec maps the flag-level codec names ("binary", "gob",
+// "binary-flate") to Codec values; pqsd and pqs-cli -codec use it.
+func ParseCodec(s string) (Codec, error) { return transport.ParseCodec(s) }
 
 // LifecycleConfig tunes the per-server connection lifecycle
 // (DialOptions.Lifecycle): pool size, idle reaping, health probes, dial

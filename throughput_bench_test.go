@@ -361,3 +361,62 @@ func BenchmarkHighFanIn(b *testing.B) {
 	b.StopTimer()
 	reportOpsPerSec(b)
 }
+
+// BenchmarkThroughputWAN is the compression crossover measurement: writes
+// carrying a compressible ~4 KiB value through a VirtualNet whose links are
+// byte-limited to 256 KB/s per direction (a WAN-ish access link), raw
+// binary codec vs CodecBinaryFlate in the same run. On an unlimited link
+// deflate's CPU cost loses to the null transform; at 256 KB/s the link is
+// the bottleneck and the raw codec tops out near rate/frameSize ops/sec,
+// while the compressed codec ships many more frames through the same pipe.
+// The acceptance floor for this fixture is flate >= 1.5x raw ops/sec.
+func BenchmarkThroughputWAN(b *testing.B) {
+	// Redundant-but-structured payload, the shape compression is for
+	// (JSON-ish session state, config blobs); deflates to a few percent.
+	value := bytes.Repeat([]byte(`{"session":"0123456789abcdef","state":"active"}`), 88)
+	for _, codec := range []transport.Codec{transport.CodecBinary, transport.CodecBinaryFlate} {
+		b.Run(codec.String(), func(b *testing.B) {
+			vn := transport.NewVirtualNet(nil, 99)
+			vn.SetByteRate(256 << 10)
+			l, err := vn.Listen(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := transport.ServeListener(l, replica.New(0), transport.TCPOptions{Codec: codec})
+			b.Cleanup(func() { srv.Close() })
+			client := transport.NewTCPClientOpts(map[quorum.ServerID]string{0: l.Addr().String()}, transport.TCPClientOptions{
+				Codec: codec,
+				Dial:  vn.Dialer(quorum.ServerID(1000)),
+			})
+			b.Cleanup(func() { client.Close() })
+
+			ctx := context.Background()
+			stamp := ts.Stamp{Counter: 1, Writer: 1}
+			// Modest parallelism keeps the single multiplexed connection's
+			// send queue full (throughput regime) without stacking seconds
+			// of serialization delay onto every call.
+			var goroutineID atomic.Int64
+			b.SetBytes(int64(len(value)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := goroutineID.Add(1)
+				i := 0
+				for pb.Next() {
+					i++
+					req := wire.WriteRequest{
+						Key:   fmt.Sprintf("wan-%d-%d", id, i),
+						Value: value,
+						Stamp: stamp,
+					}
+					if _, err := client.Call(ctx, 0, req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			reportOpsPerSec(b)
+		})
+	}
+}
