@@ -1,8 +1,8 @@
 # Tier-1 verification and developer shortcuts. CI (.github/workflows/ci.yml)
 # runs these same targets on every push: `make ci` is the tier1 job, and the
-# lint / chaos-short / chaos-tcp / sim-fast / fuzz-smoke / bench-regress
-# targets back the remaining jobs one-for-one, so a green `make ci-full`
-# locally means a green wall.
+# lint / chaos-short / chaos-tcp / sim-fast / sim-scale / fuzz-smoke /
+# bench-regress targets back the remaining jobs one-for-one, so a green
+# `make ci-full` locally means a green wall.
 
 GO ?= go
 
@@ -10,7 +10,7 @@ GO ?= go
 # bench-smoke passes 1x to guard against bit-rot without timing flakiness).
 BENCHTIME ?= 1s
 
-.PHONY: all build test vet lint race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast e2e-smoke
+.PHONY: all build test vet lint race tier1 ci ci-full bench bench-tail bench-json bench-smoke bench-regress chaos-short chaos-tcp fuzz-smoke sim-fast sim-scale e2e-smoke
 
 all: ci
 
@@ -42,7 +42,7 @@ tier1: build test
 ci: vet lint tier1 race bench-smoke
 
 # ci-full runs every CI job locally.
-ci-full: ci chaos-short chaos-tcp sim-fast fuzz-smoke bench-regress
+ci-full: ci chaos-short chaos-tcp sim-fast sim-scale fuzz-smoke bench-regress
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -121,6 +121,22 @@ chaos-tcp:
 # reintroduce wall-clock waits into the simulated path.
 sim-fast:
 	$(GO) test -run 'TestSimFastLongFormEpsilon|TestSimFastLongFormEpsilonTCP|TestAdaptiveHedgeEpsilonPreserved' -v ./internal/sim
+
+# The population-scale gate: the internal/load scale/ matrix — 10k-client
+# open-loop populations against n=1000 and n=2000 universes (plus a
+# reduced-scale point on the real TCP stack), over a million operations in
+# total, with churn waves gated by the time-decayed timed-quorum bound.
+# Every scale point runs TWICE and must replay byte-for-byte (digest +
+# full-result comparison); -negative proves the gate fails a view-blind
+# storm; -budget 5m keeps the whole matrix CI-affordable, failing the
+# target if simulation ever gets slow enough to blow the wall-clock
+# budget. -json records per-scale-point ε / staleness-depth / tail-latency
+# metrics to BENCH_epsilon.json (the CI artifact). Scale points are
+# independent simulations, so they run on a bounded worker pool
+# (-load-parallel, default half the cores) without affecting any digest.
+# A failing seed replays locally with the same command and CHAOS_SEED=N.
+sim-scale:
+	$(GO) run ./cmd/pqs-chaos -load -seed $(CHAOS_SEED) -negative -verify-determinism -json -budget 5m -o /dev/null
 
 # Ten seconds of coverage-guided fuzzing each for the binary codec's decode
 # surface and the virtual byte-stream fault injector, so both fuzz targets

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"pqs/internal/config"
 	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
 	"pqs/internal/replica"
@@ -24,19 +25,48 @@ type LocalCluster struct {
 	cellN int
 }
 
-// NewLocalCluster starts n correct in-process replicas. seed fixes the
-// simulated network's randomness.
-func NewLocalCluster(n int, seed int64) (*LocalCluster, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("pqs: cluster size %d must be positive", n)
+// ClusterConfig describes a local replica cluster: the one options struct
+// behind the historical constructors NewLocalCluster, NewLocalClusterCells,
+// sim.NewCluster, sim.NewClusterClock and sim.NewClusterCellsClock, which
+// all survive as thin wrappers over it. The sim package accepts the same
+// struct through sim.NewClusterCfg.
+type ClusterConfig = config.Cluster
+
+// NewCluster starts a local in-process cluster from cfg: cfg.Cells × cfg.N
+// correct replicas (Cells 0 or 1 = the classic single-cell layout) on one
+// simulated network seeded by cfg.Seed. A non-nil cfg.Clock puts the
+// network's simulated latency on that clock (harnesses pass a
+// vtime.SimClock for deterministic virtual time).
+func NewCluster(cfg ClusterConfig) (*LocalCluster, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("pqs: cluster size %d must be positive", cfg.N)
 	}
-	c := &LocalCluster{net: transport.NewMemNetwork(seed)}
-	for i := 0; i < n; i++ {
+	if cfg.Cells < 0 {
+		return nil, fmt.Errorf("pqs: cell count %d must be positive", cfg.Cells)
+	}
+	total := cfg.Total()
+	c := &LocalCluster{net: transport.NewMemNetwork(cfg.Seed)}
+	if cfg.Clock != nil {
+		c.net.SetClock(cfg.Clock)
+	}
+	for i := 0; i < total; i++ {
 		r := replica.New(quorum.ServerID(i))
 		c.reps = append(c.reps, r)
 		c.net.Register(quorum.ServerID(i), r)
 	}
+	if cfg.Cells >= 1 {
+		// An explicit cell count (even 1) records the per-cell size, so
+		// CrashCell/RecoverCell address cells exactly as before; Cells = 0
+		// keeps the classic single-cell cluster with no cell layout.
+		c.cellN = cfg.N
+	}
 	return c, nil
+}
+
+// NewLocalCluster starts n correct in-process replicas. seed fixes the
+// simulated network's randomness. It is a thin wrapper over NewCluster.
+func NewLocalCluster(n int, seed int64) (*LocalCluster, error) {
+	return NewCluster(ClusterConfig{N: n, Seed: seed})
 }
 
 // NewLocalClusterCells starts cells*n correct in-process replicas laid out
@@ -44,17 +74,13 @@ func NewLocalCluster(n int, seed int64) (*LocalCluster, error) {
 // N = n): cell i owns servers [i*n, (i+1)*n). All cells share one simulated
 // network, so cross-cell faults — a partition between cells, a whole cell
 // crashing — are injected with the usual methods over global server ids
-// (or CrashCell/RecoverCell for whole cells).
+// (or CrashCell/RecoverCell for whole cells). It is a thin wrapper over
+// NewCluster.
 func NewLocalClusterCells(cells, n int, seed int64) (*LocalCluster, error) {
 	if cells <= 0 {
 		return nil, fmt.Errorf("pqs: cell count %d must be positive", cells)
 	}
-	c, err := NewLocalCluster(cells*n, seed)
-	if err != nil {
-		return nil, err
-	}
-	c.cellN = n
-	return c, nil
+	return NewCluster(ClusterConfig{Cells: cells, N: n, Seed: seed})
 }
 
 // N returns the cluster size (total replicas across all cells).

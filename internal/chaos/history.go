@@ -7,6 +7,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"pqs/internal/combin"
@@ -65,6 +66,14 @@ type Op struct {
 	// function of the key and the ring view, so two runs from one seed must
 	// attribute every operation to the same cell.
 	Cell int `json:"cell,omitempty"`
+	// View is the membership-view version the operation was issued under:
+	// a counter the harness bumps once per membership departure or join
+	// (Leave/Join schedule actions, load-generator churn waves). The timed-
+	// quorum checker (CheckConfig.Timed) derives each read's churn depth D
+	// as read.View minus the View of its key's latest write, which is what
+	// the time-decayed ε bound is a function of. Always 0 in churn-free
+	// runs.
+	View uint64 `json:"view,omitempty"`
 	// Err is the operation's error text ("" on success).
 	Err string `json:"err,omitempty"`
 }
@@ -73,7 +82,8 @@ type Op struct {
 func (o Op) equal(p Op) bool {
 	if o.Seq != p.Seq || o.Time != p.Time || o.Kind != p.Kind || o.Key != p.Key ||
 		o.Value != p.Value || o.Stamp != p.Stamp || o.Found != p.Found ||
-		o.Full != p.Full || o.Cell != p.Cell || o.Err != p.Err || len(o.Quorum) != len(p.Quorum) {
+		o.Full != p.Full || o.Cell != p.Cell || o.View != p.View ||
+		o.Err != p.Err || len(o.Quorum) != len(p.Quorum) {
 		return false
 	}
 	for i := range o.Quorum {
@@ -96,6 +106,9 @@ func (o Op) String() string {
 	fmt.Fprintf(&b, " quorum=%v", o.Quorum)
 	if o.Cell != 0 {
 		fmt.Fprintf(&b, " cell=%d", o.Cell)
+	}
+	if o.View != 0 {
+		fmt.Fprintf(&b, " view=%d", o.View)
 	}
 	if o.Err != "" {
 		fmt.Fprintf(&b, " err=%q", o.Err)
@@ -147,6 +160,30 @@ type CheckConfig struct {
 	// ANY cell's p-value drops below Alpha — a cell blowing its budget must
 	// not hide inside a passing global average.
 	Cells int
+	// Timed, when set, replaces the flat bound test with the timed-quorum
+	// verdict: eligible reads are bucketed by churn depth D (the read's
+	// View minus its key's last-write View), each bucket is allowed the
+	// time-decayed per-read bound min(1, Base + ε(D) - ε(0)) with ε(D) =
+	// combin.TimedEpsilon(N, QW, QR, D), and the total bad count is tested
+	// against the sum of bucket binomials. The flat PValue is still
+	// computed and reported for reference, but Pass follows the timed
+	// verdict (plus violations and per-cell sections, which keep using the
+	// flat bound). See CheckResult.Timed.
+	Timed *TimedBound
+}
+
+// TimedBound parameterizes the timed-quorum (time-decayed ε) test: the
+// quorum geometry and the static per-read theorem bound it decays from.
+type TimedBound struct {
+	// N is the universe size and QW/QR the write/read quorum sizes of the
+	// construction under test (per cell, in a multi-cell run).
+	N  int `json:"n"`
+	QW int `json:"qw"`
+	QR int `json:"qr"`
+	// Base is the static (D=0) per-read bound ε the theorems grant — the
+	// same number the flat test uses. The timed test allows each depth-D
+	// bucket Base plus the churn penalty TimedEpsilon(D) - TimedEpsilon(0).
+	Base float64 `json:"base"`
 }
 
 // DefaultAlpha is CheckConfig.Alpha's default.
@@ -200,6 +237,11 @@ type CheckResult struct {
 	// reads count toward the bound instead.
 	Violations []string `json:"violations,omitempty"`
 
+	// Timed carries the timed-quorum verdict when CheckConfig.Timed is
+	// set: the depth-bucketed bounds and the grouped test that decides
+	// Pass for churn runs. Nil otherwise.
+	Timed *TimedResult `json:"timed,omitempty"`
+
 	// Cells carries the per-cell sections of a multi-cell run
 	// (CheckConfig.Cells > 1): the same eligibility accounting and binomial
 	// test computed over each cell's own reads, against the same per-cell
@@ -249,6 +291,12 @@ func Check(h History, cfg CheckConfig) CheckResult {
 	res := CheckResult{StaleDepth: make(map[int]int), Bound: cfg.Bound}
 	writes := make(map[string][]writeRec)
 	completed := make(map[string]int) // completed-write count per key
+	var lastView map[string]uint64    // view of each key's latest write attempt
+	var timedGroups map[int]*TimedGroup
+	if cfg.Timed != nil {
+		lastView = make(map[string]uint64)
+		timedGroups = make(map[int]*TimedGroup)
+	}
 	var cells []CellResult
 	if cfg.Cells > 1 {
 		cells = make([]CellResult, cfg.Cells)
@@ -273,6 +321,9 @@ func Check(h History, cfg CheckConfig) CheckResult {
 			writes[op.Key] = append(writes[op.Key], rec)
 			if rec.completed {
 				completed[op.Key]++
+			}
+			if lastView != nil {
+				lastView[op.Key] = op.View
 			}
 		case OpRead:
 			res.Reads++
@@ -317,10 +368,27 @@ func Check(h History, cfg CheckConfig) CheckResult {
 						op.Seq, cfg.Mode, op.Key, op.Value, op.Stamp))
 				}
 			}
-			if eligible && class != readCorrect {
-				res.EligibleBad++
-				if cell != nil {
-					cell.EligibleBad++
+			if eligible {
+				if class != readCorrect {
+					res.EligibleBad++
+					if cell != nil {
+						cell.EligibleBad++
+					}
+				}
+				if timedGroups != nil {
+					d := 0
+					if lv := lastView[op.Key]; op.View > lv {
+						d = int(op.View - lv)
+					}
+					tg := timedGroups[d]
+					if tg == nil {
+						tg = &TimedGroup{Departures: d}
+						timedGroups[d] = tg
+					}
+					tg.Reads++
+					if class != readCorrect {
+						tg.Bad++
+					}
 				}
 			}
 		}
@@ -336,6 +404,17 @@ func Check(h History, cfg CheckConfig) CheckResult {
 		res.PValue = combin.BinomialTailGE(res.EligibleReads, cfg.Bound, res.EligibleBad)
 	}
 	res.Pass = len(res.Violations) == 0 && res.PValue >= cfg.Alpha
+	if cfg.Timed != nil {
+		gs := make([]TimedGroup, 0, len(timedGroups))
+		for _, g := range timedGroups {
+			gs = append(gs, *g)
+		}
+		res.Timed = EvaluateTimed(gs, *cfg.Timed, cfg.Alpha)
+		// Under churn the flat bound is the wrong null hypothesis — the
+		// timed verdict replaces it (violations and per-cell sections still
+		// veto below).
+		res.Pass = len(res.Violations) == 0 && res.Timed.Pass
+	}
 	for i := range cells {
 		c := &cells[i]
 		if c.EligibleReads > 0 {
@@ -351,6 +430,74 @@ func Check(h History, cfg CheckConfig) CheckResult {
 		}
 	}
 	res.Cells = cells
+	return res
+}
+
+// TimedGroup is one churn-depth bucket of the timed-quorum test: Reads
+// eligible reads issued D membership departures after their key's latest
+// write, of which Bad were stale or fooled, allowed the per-read bound
+// Bound (filled in by EvaluateTimed).
+type TimedGroup struct {
+	Departures int     `json:"departures"`
+	Reads      int     `json:"reads"`
+	Bad        int     `json:"bad"`
+	Bound      float64 `json:"bound"`
+}
+
+// TimedResult is the timed-quorum verdict: depth-bucketed bounds and the
+// grouped statistical test over the total bad count.
+type TimedResult struct {
+	// Groups are the depth buckets in increasing Departures order, bounds
+	// filled.
+	Groups []TimedGroup `json:"groups"`
+	// MaxBound is the largest per-read bound any bucket was allowed — how
+	// far churn stretched the budget beyond Base.
+	MaxBound float64 `json:"max_bound"`
+	// PValue is P(total bad ≥ observed) under the null hypothesis that each
+	// bucket fails at exactly its bound (combin.GroupedBinomialTailGE).
+	PValue float64 `json:"p_value"`
+	// Pass is PValue >= alpha.
+	Pass bool `json:"pass"`
+}
+
+// EvaluateTimed computes each bucket's time-decayed bound and tests the
+// total bad count against the sum of bucket binomials at confidence alpha
+// (0 = DefaultAlpha). Buckets arrive with Departures/Reads/Bad set; the
+// input slice is sorted and its bounds filled in place. Exported because
+// the load generator (internal/load) runs the same verdict over its own
+// depth buckets without materializing a History.
+func EvaluateTimed(groups []TimedGroup, tb TimedBound, alpha float64) *TimedResult {
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Departures < groups[j].Departures })
+	base0 := combin.TimedEpsilon(tb.N, tb.QW, tb.QR, 0)
+	res := &TimedResult{Groups: groups, PValue: 1}
+	ms := make([]int, len(groups))
+	ps := make([]float64, len(groups))
+	totalBad := 0
+	for i := range groups {
+		g := &groups[i]
+		d := g.Departures
+		if d > tb.N {
+			d = tb.N
+		}
+		bound := tb.Base + combin.TimedEpsilon(tb.N, tb.QW, tb.QR, d) - base0
+		if bound > 1 {
+			bound = 1
+		}
+		g.Bound = bound
+		if bound > res.MaxBound {
+			res.MaxBound = bound
+		}
+		ms[i] = g.Reads
+		ps[i] = bound
+		totalBad += g.Bad
+	}
+	if totalBad > 0 {
+		res.PValue = combin.GroupedBinomialTailGE(ms, ps, totalBad)
+	}
+	res.Pass = res.PValue >= alpha
 	return res
 }
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"pqs/internal/config"
 	"pqs/internal/diffusion"
 	"pqs/internal/quorum"
 	"pqs/internal/register"
@@ -20,7 +21,21 @@ import (
 )
 
 // Config drives one chaos run.
+//
+// The access-tuning knobs live canonically on the embedded config.Tuning
+// block (which also brought HedgeDeviations, W and ReadRepair to chaos
+// runs — knobs the flat era never exposed here) and the shape knobs on
+// config.Topology; the flat fields of the same names below are deprecated
+// aliases that forward, with the embedded block winning when both are set.
+// See the README section "Configuring access tuning".
 type Config struct {
+	// Tuning is the canonical access-tuning block (register.Options knobs).
+	config.Tuning
+	// Topology is the canonical shape block: Cells/CellVnodes, Transport
+	// and the latency model. Topology.N is ignored (the universe size
+	// comes from System.N()).
+	config.Topology
+
 	// Name labels the run in reports.
 	Name string
 	// System is the quorum system under test.
@@ -35,6 +50,14 @@ type Config struct {
 	Ops int
 	// Keys is the rotating key-set size (default 8, clamped to Ops).
 	Keys int
+	// ReadLag, when positive, makes the read of pair t target the key
+	// written at pair t-ReadLag (clamped at 0) instead of the key just
+	// written — so schedule events (churn waves in particular) land
+	// *between* a key's last write and its read, giving timed-quorum runs
+	// reads with genuine churn depth D > 0. Use ReadLag < Keys, or the
+	// lagged key will have been overwritten in the meantime. 0 keeps the
+	// classic write-then-read-same-key pairing.
+	ReadLag int
 	// Seed fixes every random choice of the run. Two runs with equal
 	// Config produce equal Histories.
 	Seed int64
@@ -44,6 +67,13 @@ type Config struct {
 	// the checker confidence (see CheckConfig).
 	Bound float64
 	Alpha float64
+	// Timed enables the timed-quorum verdict: ops record the membership-
+	// view version (bumped by Leave/Join actions), and the checker buckets
+	// eligible reads by churn depth D, allowing each bucket the time-
+	// decayed bound Base + ε(D) - ε(0) with Base = Bound (see
+	// CheckConfig.Timed). The natural pairing is a churn schedule plus
+	// ReadLag, so reads actually observe D > 0.
+	Timed bool
 
 	// Virtual runs the whole scenario under a vtime.SimClock: simulated
 	// latency, hedge timers and slow-lorris delays execute in virtual time
@@ -78,6 +108,10 @@ type Config struct {
 	// Spares, HedgeDelay, AdaptiveHedge and EagerRead enable the client's
 	// straggler-tolerant access path for the run (register.Options),
 	// putting hedge timers inside the chaos determinism contract.
+	//
+	// Deprecated: set the embedded Tuning block; these flat aliases
+	// forward (as do the flat Transport/LatencyMin/LatencyMax/Cells, for
+	// the Topology block).
 	Spares        int
 	HedgeDelay    time.Duration
 	AdaptiveHedge bool
@@ -157,6 +191,7 @@ type Report struct {
 // harness failures, never on consistency violations. With cfg.Virtual the
 // whole scenario executes inside a vtime.SimClock scheduler.
 func Run(cfg Config) (*Report, error) {
+	cfg = cfg.resolved()
 	if cfg.Transport == sim.TransportTCPVirtual {
 		// The byte-stream data plane schedules every chunk on the clock;
 		// running it against the wall clock would really wait out the
@@ -177,6 +212,31 @@ func Run(cfg Config) (*Report, error) {
 		rep.SimSeconds = sc.Elapsed().Seconds()
 	}
 	return rep, err
+}
+
+// resolved returns cfg with the canonical Tuning/Topology blocks resolved
+// against the deprecated flat aliases, and the flat fields rewritten to
+// the resolved values so the run body (and anything reading the config
+// back) sees one consistent spelling. A config written entirely in either
+// spelling resolves to the same values — the bit-for-bit compat contract.
+func (cfg Config) resolved() Config {
+	tun := cfg.Tuning.Or(config.Tuning{
+		Spares:        cfg.Spares,
+		HedgeDelay:    cfg.HedgeDelay,
+		AdaptiveHedge: cfg.AdaptiveHedge,
+		EagerRead:     cfg.EagerRead,
+	})
+	topo := cfg.Topology.Or(config.Topology{
+		Cells:      cfg.Cells,
+		Transport:  cfg.Transport,
+		LatencyMin: cfg.LatencyMin,
+		LatencyMax: cfg.LatencyMax,
+	})
+	cfg.Tuning, cfg.Topology = tun, topo
+	cfg.Spares, cfg.HedgeDelay, cfg.AdaptiveHedge, cfg.EagerRead = tun.Spares, tun.HedgeDelay, tun.AdaptiveHedge, tun.EagerRead
+	cfg.Cells, cfg.Transport = topo.Cells, topo.Transport
+	cfg.LatencyMin, cfg.LatencyMax = topo.LatencyMin, topo.LatencyMax
+	return cfg
 }
 
 // run is the scenario body, on clk (nil = wall).
@@ -204,7 +264,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	if clk != nil {
 		netClk = clk
 	}
-	cluster := sim.NewClusterCellsClock(cells, cfg.System.N(), cfg.Seed, netClk)
+	cluster := sim.NewClusterCfg(config.Cluster{Cells: cells, N: cfg.System.N(), Seed: cfg.Seed, Clock: netClk})
 	var (
 		eng           *Engine
 		tc            *sim.TCPCluster
@@ -241,17 +301,21 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	}
 
 	opts := register.Options{
-		System:        cfg.System,
-		Mode:          cfg.Mode,
-		K:             cfg.K,
-		Transport:     callTransport,
-		Rand:          rand.New(rand.NewSource(cfg.Seed + 1)),
-		Clock:         ts.NewClock(1),
-		Spares:        cfg.Spares,
-		HedgeDelay:    cfg.HedgeDelay,
-		AdaptiveHedge: cfg.AdaptiveHedge,
-		EagerRead:     cfg.EagerRead,
-		Cells:         cfg.Cells,
+		System:          cfg.System,
+		Mode:            cfg.Mode,
+		K:               cfg.K,
+		Transport:       callTransport,
+		Rand:            rand.New(rand.NewSource(cfg.Seed + 1)),
+		Clock:           ts.NewClock(1),
+		Spares:          cfg.Spares,
+		HedgeDelay:      cfg.HedgeDelay,
+		AdaptiveHedge:   cfg.AdaptiveHedge,
+		HedgeDeviations: cfg.Tuning.HedgeDeviations,
+		EagerRead:       cfg.EagerRead,
+		W:               cfg.Tuning.W,
+		ReadRepair:      cfg.Tuning.ReadRepair,
+		Cells:           cfg.Cells,
+		RingVnodes:      cfg.Topology.CellVnodes,
 	}
 	if clk != nil {
 		opts.Time = clk
@@ -329,6 +393,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		key := fmt.Sprintf("k%d", t%keys)
 		value := fmt.Sprintf("v%d", t)
 		opCell := client.CellFor(key)
+		view := rt.view
 
 		wr, werr := client.Write(ctx, key, []byte(value))
 		wop := Op{
@@ -337,6 +402,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 			Full:   werr == nil && len(wr.Acked) == len(wr.Quorum),
 			Quorum: wr.Quorum,
 			Cell:   opCell,
+			View:   view,
 		}
 		if werr != nil {
 			wop.Err = werr.Error()
@@ -344,12 +410,24 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		hist = append(hist, wop)
 		seq++
 
-		rr, rerr := client.Read(ctx, key)
+		// With ReadLag the read targets the key written ReadLag pairs ago,
+		// so churn events since that write give the read genuine depth D.
+		readKey, readCell := key, opCell
+		if cfg.ReadLag > 0 {
+			lagT := t - cfg.ReadLag
+			if lagT < 0 {
+				lagT = 0
+			}
+			readKey = fmt.Sprintf("k%d", lagT%keys)
+			readCell = client.CellFor(readKey)
+		}
+		rr, rerr := client.Read(ctx, readKey)
 		rop := Op{
-			Seq: seq, Time: t, Kind: OpRead, Key: key,
+			Seq: seq, Time: t, Kind: OpRead, Key: readKey,
 			Value: string(rr.Value), Stamp: rr.Stamp, Found: rr.Found,
 			Quorum: rr.Quorum,
-			Cell:   opCell,
+			Cell:   readCell,
+			View:   view,
 		}
 		if rerr != nil {
 			rop.Err = rerr.Error()
@@ -363,6 +441,11 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 	if transportName == "" {
 		transportName = sim.TransportMem
 	}
+	checkCfg := CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha, Cells: cfg.Cells}
+	if cfg.Timed {
+		q := cfg.System.QuorumSize()
+		checkCfg.Timed = &TimedBound{N: cfg.System.N(), QW: q, QR: q, Base: cfg.Bound}
+	}
 	rep := &Report{
 		Name:      cfg.Name,
 		Seed:      cfg.Seed,
@@ -372,7 +455,7 @@ func run(cfg Config, clk *vtime.SimClock) (*Report, error) {
 		Schedule:  cfg.Schedule.String(),
 		Transport: transportName,
 		History:   hist,
-		Check:     Check(hist, CheckConfig{Mode: cfg.Mode, Bound: cfg.Bound, Alpha: cfg.Alpha, Cells: cfg.Cells}),
+		Check:     Check(hist, checkCfg),
 	}
 	if rt.gossip != nil {
 		rep.GossipRounds = gossipRounds

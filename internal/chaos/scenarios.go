@@ -144,6 +144,34 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name: "benign/churn-timed",
+			Doc:  "four replacement waves (leave + rejoin empty, 5 servers each) with lagged reads; every op carries the membership-view version and the checker enforces the TIME-DECAYED timed-quorum bound ε(D) per churn-depth bucket (Gramoli & Raynal) instead of the flat ε",
+			Build: func(scale int, seed int64) (Config, error) {
+				sys, err := core.NewEpsilonIntersectingEll(baseN, 2.5)
+				if err != nil {
+					return Config{}, err
+				}
+				ops := 150 * scale
+				return Config{
+					Name: "benign/churn-timed", System: sys, Mode: register.Benign,
+					// Lagged reads make churn waves land BETWEEN a key's write
+					// and its read, so the depth buckets D=5,10,... are
+					// actually populated (ReadLag < Keys, see Config.ReadLag).
+					Ops: ops, Keys: 24, ReadLag: 8,
+					Seed: seed, Bound: sys.EpsilonBound(), Timed: true,
+					// No gossip: the rejoined-empty stores stay empty until
+					// rewritten, so the decay the timed bound allows for is
+					// genuinely visible.
+					Schedule: Schedule{
+						At(ops/5, Leave(ids(10, 5)...), Join(ids(10, 5)...)),
+						At(2*ops/5, Leave(ids(30, 5)...), Join(ids(30, 5)...)),
+						At(3*ops/5, Leave(ids(50, 5)...), Join(ids(50, 5)...)),
+						At(4*ops/5, Leave(ids(70, 5)...), Join(ids(70, 5)...)),
+					},
+				}, nil
+			},
+		},
+		{
 			Name: "benign/slow-lorris",
 			Doc:  "10 servers answer ever more slowly; slowness must never affect safety, only latency",
 			Build: func(scale int, seed int64) (Config, error) {

@@ -82,6 +82,35 @@ type runtime struct {
 	// storm fleet's lifecycle counters before the fleet is torn down.
 	// Aggregates only — never part of History.
 	stormCalls, stormErrors, stormCoalesced, stormFastFails atomic.Uint64
+	// view is the membership-view version: bumped once per server whose
+	// store is destroyed by churn — a Leave, or a Join that replaces a
+	// still-live replica in place (a Join refilling a departed slot with an
+	// empty store does not bump again; its Leave already did). Crash and
+	// Recover are not membership churn — a crashed server keeps its store.
+	// The run loop stamps view into each Op.View, which is what the timed-
+	// quorum checker buckets reads by.
+	view     uint64
+	departed map[quorum.ServerID]bool
+}
+
+// noteLeave counts one copy-destroying departure.
+func (rt *runtime) noteLeave(id quorum.ServerID) {
+	rt.view++
+	if rt.departed == nil {
+		rt.departed = make(map[quorum.ServerID]bool)
+	}
+	rt.departed[id] = true
+}
+
+// noteJoin counts a join: a fresh empty replica over a live one destroys
+// that store (a departure in timed-quorum terms); refilling an already-
+// departed slot does not destroy anything further.
+func (rt *runtime) noteJoin(id quorum.ServerID) {
+	if rt.departed[id] {
+		delete(rt.departed, id)
+		return
+	}
+	rt.view++
 }
 
 // crash marks a server crashed on the live plane. On the byte-stream plane
@@ -232,6 +261,7 @@ func Leave(ids ...quorum.ServerID) Action {
 	return actionFunc{fmt.Sprintf("leave%v", ids), func(rt *runtime) {
 		for _, id := range ids {
 			rt.leave(id)
+			rt.noteLeave(id)
 			if rt.gossip != nil {
 				rt.gossip.Remove(id)
 			}
@@ -256,6 +286,7 @@ func Join(ids ...quorum.ServerID) Action {
 			}
 			rt.byID[id] = r
 			rt.installReplica(id, r)
+			rt.noteJoin(id)
 			if rt.gossip != nil {
 				rt.gossip.Remove(id) // tolerate a Join without a prior Leave
 				if err := rt.gossip.Add(r); err != nil {

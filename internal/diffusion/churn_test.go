@@ -163,3 +163,89 @@ func TestGossipChurnWhileLeaving(t *testing.T) {
 		t.Fatal("gossip did not converge after the departed server was removed from peer sets")
 	}
 }
+
+// TestGroupReplaceAndStepOnly pins the batched churn-wave API the
+// population-scale load harness uses: Replace swaps a whole wave with one
+// peer-set refresh, and StepOnly runs rejoin anti-entropy for just the
+// replacements — which must be enough for an empty rejoiner to pull state
+// back without a global round.
+func TestGroupReplaceAndStepOnly(t *testing.T) {
+	const n = 8
+	net := transport.NewMemNetwork(3)
+	reps := make([]*replica.Replica, n)
+	for i := range reps {
+		reps[i] = replica.New(quorum.ServerID(i))
+		net.Register(quorum.ServerID(i), reps[i])
+	}
+	g, err := NewGroup(reps, net, 2, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every live replica holds the entry, as after a completed wide write.
+	for _, r := range reps {
+		seedEntry(r, "k", 1)
+	}
+
+	// One wave: servers 1 and 2 are destroyed and rejoin empty.
+	departed := []quorum.ServerID{1, 2}
+	joined := make([]*replica.Replica, 0, len(departed))
+	for _, id := range departed {
+		net.Deregister(id)
+		r := replica.New(id)
+		net.Register(id, r)
+		joined = append(joined, r)
+	}
+	if err := g.Replace(departed, joined); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Engines()); got != n {
+		t.Fatalf("membership after Replace = %d engines, want %d", got, n)
+	}
+	// Every engine's peer set must reflect the single batched refresh:
+	// n-1 peers, self excluded, no departed duplicates.
+	for _, e := range g.Engines() {
+		e.mu.Lock()
+		peers := append([]quorum.ServerID(nil), e.peers...)
+		e.mu.Unlock()
+		if len(peers) != n-1 {
+			t.Fatalf("engine %d has %d peers after Replace, want %d", e.Self(), len(peers), n-1)
+		}
+		for _, p := range peers {
+			if p == e.Self() {
+				t.Fatalf("engine %d lists itself as a peer", e.Self())
+			}
+		}
+	}
+	// Rejoining an id that was not removed must be refused.
+	if err := g.Replace(nil, []*replica.Replica{replica.New(0)}); err == nil {
+		t.Fatal("Replace accepted a duplicate member")
+	}
+
+	// StepOnly heals the rejoiners: with Fanout 2 over healthy peers, a
+	// handful of targeted rounds must restore the entry to both.
+	ctx := context.Background()
+	healed := func() bool {
+		for _, r := range joined {
+			if e, ok := r.Store().Get("k"); !ok || e.Stamp.Counter < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	for rounds := 0; rounds < 10 && !healed(); rounds++ {
+		if err := g.StepOnly(ctx, departed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !healed() {
+		t.Fatal("rejoined servers never pulled the entry back via StepOnly")
+	}
+	// Only the targeted engines stepped.
+	for _, e := range g.Engines() {
+		stepped := e.Stats().Rounds > 0
+		target := e.Self() == 1 || e.Self() == 2
+		if stepped != target {
+			t.Fatalf("engine %d stepped=%v, want %v (StepOnly must touch only the named ids)", e.Self(), stepped, target)
+		}
+	}
+}

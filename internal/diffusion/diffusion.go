@@ -504,6 +504,71 @@ func (g *Group) Step(ctx context.Context) error {
 	return nil
 }
 
+// Replace applies one churn wave atomically: the departed ids leave, the
+// joined replicas enter, and every engine's peer set refreshes ONCE at the
+// end. Calling Add/Remove per server refreshes every peer set per call —
+// O(n²) ids copied per wave — which dominates wall time at population
+// scale (n in the thousands, tens of replacements per wave). Not safe for
+// concurrent use with Step.
+func (g *Group) Replace(departed []quorum.ServerID, joined []*replica.Replica) error {
+	gone := make(map[quorum.ServerID]bool, len(departed))
+	for _, id := range departed {
+		gone[id] = true
+	}
+	kept := g.engines[:0]
+	for _, e := range g.engines {
+		if !gone[e.Self()] {
+			kept = append(kept, e)
+		}
+	}
+	g.engines = kept
+	for _, r := range joined {
+		for _, e := range g.engines {
+			if e.Self() == r.ID() {
+				return fmt.Errorf("diffusion: server %d is already a group member", r.ID())
+			}
+		}
+		eng, err := NewEngine(Config{
+			Self:      r.ID(),
+			Peers:     []quorum.ServerID{r.ID()}, // placeholder; refreshed below
+			Transport: g.tr,
+			Store:     r.Store(),
+			Fanout:    g.fanout,
+			Verifier:  g.verifier,
+			Clock:     g.clock,
+			Rand:      rand.New(rand.NewSource(g.seed + int64(r.ID())*7919)),
+		})
+		if err != nil {
+			return fmt.Errorf("diffusion: engine %d: %w", r.ID(), err)
+		}
+		g.engines = append(g.engines, eng)
+	}
+	g.refreshPeers()
+	return nil
+}
+
+// StepOnly runs one gossip round for just the named members — the rejoin
+// anti-entropy a replacement server performs when it comes up, rather than
+// a global synchronized round. At population scale a global round is n
+// full-store first-contact exchanges (the random Fanout peers almost never
+// repeat, so delta watermarks never engage); the replacements are the only
+// stores that actually need healing. Unknown ids are ignored.
+func (g *Group) StepOnly(ctx context.Context, ids []quorum.ServerID) error {
+	want := make(map[quorum.ServerID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	for _, e := range g.engines {
+		if !want[e.Self()] {
+			continue
+		}
+		if err := e.Step(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RoundsToConverge steps the group until every store holds key with a stamp
 // at least st, returning the number of rounds taken, or maxRounds+1 if it
 // never converged.

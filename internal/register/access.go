@@ -98,6 +98,12 @@ func (c *cell) dispatch(ctx context.Context, id quorum.ServerID, req any, ch cha
 	}
 	j := dispatchJob{ctx: ctx, id: id, req: req, ch: ch, timed: timed}
 	if c.sched != nil {
+		if c.opts.InlineDispatch {
+			// The reply channel is buffered for the full access set, so a
+			// synchronous runJob can never block on delivery.
+			c.runJob(j)
+			return
+		}
 		c.sched.Go(func() { c.runJob(j) })
 		return
 	}
@@ -218,33 +224,57 @@ func (c *cell) gather(ctx context.Context, spec gatherSpec) gatherOutcome {
 		defer hedge.Stop()
 		hedgeC = hedge.C
 	}
+	// handle consumes one reply; a true return means the completion rule
+	// decided and the gather is done.
+	handle := func(r callReply) bool {
+		outstanding--
+		if r.err == nil {
+			if timed {
+				c.lat.observe(r.id, r.lat)
+			}
+			if spec.onOK != nil {
+				r.err = spec.onOK(r.id, r.resp)
+			}
+		}
+		if r.err != nil {
+			out.errs[r.id] = r.err
+			promote()
+			return false
+		}
+		out.ok++
+		if spec.decided != nil && spec.decided(out.ok, outstanding) {
+			out.early = outstanding > 0
+			out.leftover = outstanding
+			if out.early {
+				c.statEarly.Add(1)
+			}
+			return true
+		}
+		return false
+	}
+	inline := c.opts.InlineDispatch && c.sched != nil
 	for outstanding > 0 {
+		if inline {
+			// Inline dispatch already buffered every reply, including the
+			// ones a promote() just issued: consume without parking. The
+			// empty-channel fallthrough to the parking select is for safety
+			// only (it cannot fire while replies are delivered inline).
+			select {
+			case r := <-ch:
+				c.noteRecv()
+				if handle(r) {
+					return out
+				}
+				continue
+			default:
+			}
+		}
 		unpark := c.park()
 		select {
 		case r := <-ch:
 			unpark()
 			c.noteRecv()
-			outstanding--
-			if r.err == nil {
-				if timed {
-					c.lat.observe(r.id, r.lat)
-				}
-				if spec.onOK != nil {
-					r.err = spec.onOK(r.id, r.resp)
-				}
-			}
-			if r.err != nil {
-				out.errs[r.id] = r.err
-				promote()
-				continue
-			}
-			out.ok++
-			if spec.decided != nil && spec.decided(out.ok, outstanding) {
-				out.early = outstanding > 0
-				out.leftover = outstanding
-				if out.early {
-					c.statEarly.Add(1)
-				}
+			if handle(r) {
 				return out
 			}
 		case <-hedgeC:

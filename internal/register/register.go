@@ -194,6 +194,17 @@ type Options struct {
 	// RingVnodes is the virtual-node count per cell on the routing ring
 	// (0 = ring.DefaultVnodes). Only meaningful with Cells > 1.
 	RingVnodes int
+
+	// InlineDispatch, under a SimClock, runs each member call synchronously
+	// on the issuing worker instead of spawning a scheduler worker per
+	// call, and the gather consumes the already-buffered replies without
+	// parking. This collapses the per-operation scheduler cost from
+	// O(quorum) worker spawns and timer handshakes to roughly zero, which
+	// is what makes million-op population runs (internal/load) affordable.
+	// Only sensible on a zero-latency transport: a transport that sleeps
+	// per call would serialize those sleeps on the issuing worker. Ignored
+	// without a SimClock.
+	InlineDispatch bool
 }
 
 // cell is the per-cell gather engine: it runs the paper's access protocols

@@ -121,6 +121,12 @@ func (Silent) OnRead(string, wire.ReadReply) (wire.ReadReply, error) {
 // OnWrite implements Behavior.
 func (Silent) OnWrite(wire.WriteRequest) (bool, error) { return false, ErrSuppressed }
 
+// The two possible write replies, boxed once (see Handle).
+var (
+	writeReplyStored  any = wire.WriteReply{Stored: true}
+	writeReplyIgnored any = wire.WriteReply{Stored: false}
+)
+
 // Replica is one data server. It implements transport.Handler.
 type Replica struct {
 	id    quorum.ServerID
@@ -185,7 +191,13 @@ func (r *Replica) Handle(_ context.Context, req any) (any, error) {
 		if apply {
 			stored = r.store.Apply(m.Key, Entry{Value: m.Value, Stamp: m.Stamp, Sig: m.Sig})
 		}
-		return wire.WriteReply{Stored: stored}, nil
+		// Pre-boxed: a fresh wire.WriteReply literal would allocate on every
+		// boxing into `any`, and the write path runs millions of times in
+		// population-scale runs.
+		if stored {
+			return writeReplyStored, nil
+		}
+		return writeReplyIgnored, nil
 	case wire.GossipRequest:
 		return r.handleGossip(m, verifier), nil
 	case wire.GossipDeltaRequest:

@@ -48,21 +48,32 @@ type Store struct {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string]Entry
-	// seq holds each key's adoption sequence number (see Store.seq).
-	seq map[string]uint64
+	m  map[string]stored
 	// bytes tracks the summed binary wire size (wire.Item.EncodedSize) of
 	// the shard's current entries, so "what would a full push cost"
 	// stays O(shards) to answer instead of O(keys).
 	bytes int64
 }
 
+// stored is a shard's record for one key: the entry, its adoption sequence
+// number (see Store.seq) and its cached wire size. Keeping all three
+// inline in one map — values, not pointers — matters at population scale:
+// a parallel seq map would double the hash work on the Apply fast path,
+// and boxing records behind pointers adds millions of GC-scannable
+// objects (measured ~10% slower end-to-end on the scale/ matrix). The
+// cached size makes the re-write path's bytes accounting one EncodedSize
+// call instead of two.
+type stored struct {
+	e    Entry
+	seq  uint64
+	size int64
+}
+
 // NewStore returns an empty store.
 func NewStore() *Store {
 	s := &Store{}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string]Entry)
-		s.shards[i].seq = make(map[string]uint64)
+		s.shards[i].m = make(map[string]stored)
 	}
 	return s
 }
@@ -87,9 +98,9 @@ func (s *Store) Get(key string) (Entry, bool) {
 	s.gets.Add(1)
 	sh := s.shardFor(key)
 	sh.mu.RLock()
-	e, ok := sh.m[key]
+	st, ok := sh.m[key]
 	sh.mu.RUnlock()
-	return e, ok
+	return st.e, ok
 }
 
 // Apply adopts the entry if its stamp strictly dominates the stored one
@@ -100,19 +111,19 @@ func (s *Store) Apply(key string, e Entry) bool {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	cur, ok := sh.m[key]
-	if ok && !cur.Stamp.Less(e.Stamp) {
+	if ok && !cur.e.Stamp.Less(e.Stamp) {
 		sh.mu.Unlock()
 		return false
 	}
-	sh.m[key] = e
 	// The sequence number is drawn under the shard lock so that any
 	// number at or below a Seq() observation is visible to a subsequent
 	// Changes scan of this shard (the scan serializes on the same lock).
-	sh.seq[key] = s.seq.Add(1)
+	size := int64(itemWireSize(key, e))
+	sh.m[key] = stored{e: e, seq: s.seq.Add(1), size: size}
+	sh.bytes += size
 	if ok {
-		sh.bytes -= int64(itemWireSize(key, cur))
+		sh.bytes -= cur.size
 	}
-	sh.bytes += int64(itemWireSize(key, e))
 	sh.mu.Unlock()
 	s.adopted.Add(1)
 	return true
@@ -163,9 +174,9 @@ func (s *Store) Changes(since, upTo uint64) []Change {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for k, sq := range sh.seq {
-			if sq > since && sq <= upTo {
-				out = append(out, Change{Key: k, Entry: sh.m[k], Seq: sq})
+		for k, st := range sh.m {
+			if st.seq > since && st.seq <= upTo {
+				out = append(out, Change{Key: k, Entry: st.e, Seq: st.seq})
 			}
 		}
 		sh.mu.RUnlock()
@@ -212,8 +223,8 @@ func (s *Store) Snapshot() map[string]Entry {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for k, v := range sh.m {
-			out[k] = v
+		for k, st := range sh.m {
+			out[k] = st.e
 		}
 		sh.mu.RUnlock()
 	}

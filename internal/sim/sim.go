@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"time"
 
+	"pqs/internal/config"
 	"pqs/internal/quorum"
 	"pqs/internal/register"
 	"pqs/internal/replica"
@@ -34,10 +35,27 @@ type Cluster struct {
 	Replicas []*replica.Replica
 }
 
+// NewClusterCfg builds a cluster from the unified config.Cluster options
+// struct shared with the public pqs.NewCluster: Cells × N replicas (Cells
+// 0 or 1 = single cell) on one simulated network, with the network's
+// latency on cfg.Clock (nil = wall clock). The historical constructors
+// NewCluster, NewClusterClock and NewClusterCellsClock are thin wrappers.
+func NewClusterCfg(cfg config.Cluster) *Cluster {
+	c := &Cluster{Net: transport.NewMemNetwork(cfg.Seed)}
+	c.Net.SetClock(cfg.Clock)
+	total := cfg.Total()
+	for i := 0; i < total; i++ {
+		r := replica.New(quorum.ServerID(i))
+		c.Replicas = append(c.Replicas, r)
+		c.Net.Register(quorum.ServerID(i), r)
+	}
+	return c
+}
+
 // NewCluster builds n correct replicas on a fresh simulated network (wall
 // clock).
 func NewCluster(n int, seed int64) *Cluster {
-	return NewClusterClock(n, seed, nil)
+	return NewClusterCfg(config.Cluster{N: n, Seed: seed})
 }
 
 // NewClusterClock builds a cluster whose network runs on the given time
@@ -45,14 +63,7 @@ func NewCluster(n int, seed int64) *Cluster {
 // so simulated latency is virtual: instant to execute, deterministic to
 // replay.
 func NewClusterClock(n int, seed int64, clk vtime.Clock) *Cluster {
-	c := &Cluster{Net: transport.NewMemNetwork(seed)}
-	c.Net.SetClock(clk)
-	for i := 0; i < n; i++ {
-		r := replica.New(quorum.ServerID(i))
-		c.Replicas = append(c.Replicas, r)
-		c.Net.Register(quorum.ServerID(i), r)
-	}
-	return c
+	return NewClusterCfg(config.Cluster{N: n, Seed: seed, Clock: clk})
 }
 
 // NewClusterCellsClock builds a multi-cell cluster: cells×n replicas laid
@@ -63,14 +74,28 @@ func NewClusterClock(n int, seed int64, clk vtime.Clock) *Cluster {
 // the TCP plane (NewTCPCluster wraps the whole Cluster, so every cell's
 // replicas get virtual byte streams) build on this layout.
 func NewClusterCellsClock(cells, n int, seed int64, clk vtime.Clock) *Cluster {
-	return NewClusterClock(cells*n, seed, clk)
+	return NewClusterCfg(config.Cluster{Cells: cells, N: n, Seed: seed, Clock: clk})
 }
 
 // N returns the cluster size.
 func (c *Cluster) N() int { return len(c.Replicas) }
 
 // ConsistencyConfig drives MeasureConsistency.
+//
+// The access-tuning knobs live canonically on the embedded config.Tuning
+// block (Tuning.W is what the legacy flat WriteW forwarded to; ReadRepair
+// and full HedgeDeviations parity arrived with the block) and the shape
+// knobs on config.Topology; the flat fields of the same names below are
+// deprecated aliases that forward, with the embedded block winning when
+// both are set. See the README section "Configuring access tuning".
 type ConsistencyConfig struct {
+	// Tuning is the canonical access-tuning block (register.Options knobs).
+	config.Tuning
+	// Topology is the canonical shape block. MeasureConsistency honors
+	// Cells/CellVnodes (a cell-partitioned measurement), Transport and the
+	// latency model; Topology.N is ignored (the universe size comes from
+	// System.N()).
+	config.Topology
 	// System is the quorum system under test (carrier + strategy).
 	System quorum.System
 	// Mode selects the protocol; K is the masking threshold.
@@ -91,6 +116,8 @@ type ConsistencyConfig struct {
 	// tolerant access path (register.Options), so the empirical ε can be
 	// measured with hedging in effect. Spares requires System to implement
 	// quorum.SpareSampler.
+	//
+	// Deprecated: set the embedded Tuning block; these flat aliases forward.
 	Spares     int
 	HedgeDelay time.Duration
 	EagerRead  bool
@@ -104,6 +131,8 @@ type ConsistencyConfig struct {
 	DropProb float64
 	// WriteW, when non-zero, completes writes at WriteW acknowledgements
 	// (register.Options.W).
+	//
+	// Deprecated: set Tuning.W; this flat alias forwards.
 	WriteW int
 
 	// Virtual runs the measurement under a fresh vtime.SimClock: simulated
@@ -126,6 +155,9 @@ type ConsistencyConfig struct {
 	// deterministically from the seed). This is what makes hedge timers
 	// meaningful under Virtual: without latency every reply is instant and
 	// no hedge ever fires.
+	//
+	// Deprecated: set Topology.LatencyMin/LatencyMax; these flat aliases
+	// forward (as does the flat Transport above, for Topology.Transport).
 	LatencyMin, LatencyMax time.Duration
 	// StragglerN and StragglerLatency, when StragglerN > 0, override the
 	// latency of servers 0..StragglerN-1 to exactly StragglerLatency,
@@ -181,19 +213,35 @@ func measureConsistency(cfg ConsistencyConfig, clk *vtime.SimClock) (Consistency
 		return ConsistencyResult{}, errors.New("sim: System is required")
 	}
 	n := cfg.System.N()
+	// Resolve the canonical Tuning/Topology blocks against the deprecated
+	// flat aliases (WriteW is the legacy spelling of Tuning.W). A config
+	// written entirely in either spelling resolves to the same values.
+	tun := cfg.Tuning.Or(config.Tuning{
+		Spares:          cfg.Spares,
+		HedgeDelay:      cfg.HedgeDelay,
+		AdaptiveHedge:   cfg.AdaptiveHedge,
+		HedgeDeviations: cfg.HedgeDeviations,
+		EagerRead:       cfg.EagerRead,
+		W:               cfg.WriteW,
+	})
+	topo := cfg.Topology.Or(config.Topology{
+		Transport:  cfg.Transport,
+		LatencyMin: cfg.LatencyMin,
+		LatencyMax: cfg.LatencyMax,
+	})
 	var netClk vtime.Clock // avoid a typed-nil *SimClock inside the interface
 	if clk != nil {
 		netClk = clk
 	}
-	cluster := NewClusterClock(n, cfg.Seed, netClk)
+	cluster := NewClusterCfg(config.Cluster{Cells: topo.Cells, N: n, Seed: cfg.Seed, Clock: netClk})
 	var callTransport transport.Transport = cluster.Net
-	switch cfg.Transport {
+	switch topo.Transport {
 	case "", TransportMem:
 		if cfg.DropProb > 0 {
 			cluster.Net.SetDropProb(cfg.DropProb)
 		}
-		if cfg.LatencyMax > 0 {
-			cluster.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		if topo.LatencyMax > 0 {
+			cluster.Net.SetLatency(topo.LatencyMin, topo.LatencyMax)
 		}
 		for i := 0; i < cfg.StragglerN && i < n; i++ {
 			cluster.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
@@ -210,15 +258,15 @@ func measureConsistency(cfg ConsistencyConfig, clk *vtime.SimClock) (Consistency
 		if cfg.DropProb > 0 {
 			tc.Net.SetDrop(cfg.DropProb)
 		}
-		if cfg.LatencyMax > 0 {
-			tc.Net.SetLatency(cfg.LatencyMin, cfg.LatencyMax)
+		if topo.LatencyMax > 0 {
+			tc.Net.SetLatency(topo.LatencyMin, topo.LatencyMax)
 		}
 		for i := 0; i < cfg.StragglerN && i < n; i++ {
 			tc.Net.SetServerLatency(quorum.ServerID(i), cfg.StragglerLatency, cfg.StragglerLatency)
 		}
 		callTransport = tc.Client
 	default:
-		return ConsistencyResult{}, fmt.Errorf("sim: unknown Transport %q", cfg.Transport)
+		return ConsistencyResult{}, fmt.Errorf("sim: unknown Transport %q", topo.Transport)
 	}
 
 	opts := register.Options{
@@ -228,12 +276,15 @@ func measureConsistency(cfg ConsistencyConfig, clk *vtime.SimClock) (Consistency
 		Transport:       callTransport,
 		Rand:            rand.New(rand.NewSource(cfg.Seed + 1)),
 		Clock:           ts.NewClock(1),
-		Spares:          cfg.Spares,
-		HedgeDelay:      cfg.HedgeDelay,
-		EagerRead:       cfg.EagerRead,
-		AdaptiveHedge:   cfg.AdaptiveHedge,
-		HedgeDeviations: cfg.HedgeDeviations,
-		W:               cfg.WriteW,
+		Spares:          tun.Spares,
+		HedgeDelay:      tun.HedgeDelay,
+		EagerRead:       tun.EagerRead,
+		AdaptiveHedge:   tun.AdaptiveHedge,
+		HedgeDeviations: tun.HedgeDeviations,
+		W:               tun.W,
+		ReadRepair:      tun.ReadRepair,
+		Cells:           topo.Cells,
+		RingVnodes:      topo.CellVnodes,
 	}
 	if clk != nil {
 		opts.Time = clk

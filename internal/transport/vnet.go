@@ -120,8 +120,8 @@ type VirtualNet struct {
 	// rateUp paces client→server chunks (the request leg), rateDown
 	// server→client (the reply leg) — asymmetric WAN links have different
 	// capacities per direction.
-	rateUp   int64
-	rateDown int64
+	rateUp    int64
+	rateDown  int64
 	dropP     float64
 	corruptP  float64
 	jitterMax time.Duration

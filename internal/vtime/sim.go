@@ -82,6 +82,21 @@ func (c *SimClock) workerDone() {
 	c.mu.Unlock()
 }
 
+// wakeLocked wakes the scheduler, but only when its actionable condition —
+// every worker parked and no tracked message in flight — currently holds.
+// The scheduler re-checks the full condition on every wake anyway, so
+// skipping a broadcast while some worker is still runnable is safe (that
+// worker's own Park or exit performs the next guarded wake); what the guard
+// buys is not waking the sleeping scheduler thread on every tracked
+// message receipt, which at population scale (tens of replies per
+// operation, hundreds of thousands of operations) is millions of futex
+// round-trips. c.mu must be held.
+func (c *SimClock) wakeLocked() {
+	if c.parked == c.workers && c.pending == 0 {
+		c.cond.Broadcast()
+	}
+}
+
 // Park marks the calling worker as blocked on an event outside the clock
 // (a tracked channel receive, a WaitGroup). It returns the unpark function
 // the worker must call as soon as the blocking operation returns, before
@@ -93,7 +108,7 @@ func (c *SimClock) Park() func() {
 		panic("vtime: SimClock used outside Run")
 	}
 	c.parked++
-	c.cond.Broadcast()
+	c.wakeLocked()
 	c.mu.Unlock()
 	return func() {
 		c.mu.Lock()
@@ -116,7 +131,7 @@ func (c *SimClock) NoteSend() {
 func (c *SimClock) NoteRecv() {
 	c.mu.Lock()
 	c.pending--
-	c.cond.Broadcast()
+	c.wakeLocked()
 	c.mu.Unlock()
 }
 
@@ -144,7 +159,7 @@ func (c *SimClock) NoteWeakSend() {
 func (c *SimClock) NoteWeakRecv() {
 	c.mu.Lock()
 	c.weak--
-	c.cond.Broadcast()
+	c.wakeLocked()
 	c.mu.Unlock()
 }
 
@@ -290,7 +305,7 @@ func (c *SimClock) scheduleLocked(st *simTimer, d time.Duration) {
 	c.seq++
 	st.seq = c.seq
 	heap.Push(&c.timers, st)
-	c.cond.Broadcast()
+	c.wakeLocked()
 }
 
 // simTimer is a SimClock timer: either a channel timer (c != nil) or an
@@ -341,7 +356,7 @@ func (t *simTimer) drainLocked() {
 	select {
 	case <-t.c:
 		t.clk.pending--
-		t.clk.cond.Broadcast()
+		t.clk.wakeLocked()
 	default:
 	}
 }
